@@ -1,0 +1,151 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (§IV) on the synthetic ICCAD-style suites, and runs
+   one Bechamel micro-benchmark per table/figure on fixed small cases.
+
+   Environment knobs:
+     TDFLOW_SCALE  case scale for the reproduction run (default 0.05)
+     TDFLOW_SKIP_MICRO  set to skip the Bechamel micro-benchmarks *)
+
+open Bechamel
+
+let scale =
+  match Sys.getenv_opt "TDFLOW_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.05)
+  | None -> 0.05
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table / figure         *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let micro_scale = 0.02 in
+  let d2022 =
+    Tdf_benchgen.Gen.generate_by_name ~scale:micro_scale Tdf_benchgen.Spec.Iccad2022
+      "case3"
+  in
+  let d2023 =
+    Tdf_benchgen.Gen.generate_by_name ~scale:micro_scale Tdf_benchgen.Spec.Iccad2023
+      "case2"
+  in
+  let legal =
+    (Tdf_legalizer.Flow3d.legalize d2023).Tdf_legalizer.Flow3d.placement
+  in
+  Test.make_grouped ~name:"tdflow"
+    [
+      Test.make ~name:"table2/generate_case"
+        (Staged.stage (fun () ->
+             ignore
+               (Tdf_benchgen.Gen.generate_by_name ~scale:micro_scale
+                  Tdf_benchgen.Spec.Iccad2022 "case2")));
+      Test.make ~name:"table3/flow3d_iccad2022"
+        (Staged.stage (fun () -> ignore (Tdf_legalizer.Flow3d.legalize d2022)));
+      Test.make ~name:"table4/flow3d_iccad2023"
+        (Staged.stage (fun () -> ignore (Tdf_legalizer.Flow3d.legalize d2023)));
+      Test.make ~name:"table5/flow3d_no_d2d"
+        (Staged.stage (fun () ->
+             ignore
+               (Tdf_legalizer.Flow3d.legalize ~cfg:Tdf_legalizer.Config.no_d2d
+                  d2023)));
+      Test.make ~name:"fig7/hpwl_increase"
+        (Staged.stage (fun () ->
+             ignore (Tdf_metrics.Hpwl.increase_pct d2023 legal)));
+      Test.make ~name:"fig8/svg_render"
+        (Staged.stage (fun () ->
+             ignore (Tdf_io.Svg.render_die d2023 legal ~die:1 ())));
+      Test.make ~name:"ablations/refine_pass"
+        (Staged.stage (fun () ->
+             let p = Tdf_netlist.Placement.copy legal in
+             ignore (Tdf_refine.Refine.run ~iterations:1 d2023 p)));
+    ]
+
+let run_micro () =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false
+      ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "Bechamel micro-benchmarks (monotonic clock per run):\n";
+  List.iter
+    (fun (name, r) ->
+      let ns =
+        match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+      in
+      Printf.printf "  %-28s %12.1f ns/run (%8.3f ms)\n" name ns (ns /. 1e6))
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Full reproduction: Tables II-V, Fig. 7, Fig. 8                      *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "== 3D-Flow reproduction run (scale %.3g) ==\n\n" scale;
+  if Sys.getenv_opt "TDFLOW_SKIP_MICRO" = None then run_micro ();
+  print_string (Tdf_experiments.Tables.table2 ~scale ());
+  print_newline ();
+  let r2022 = Tdf_experiments.Runner.run_suite ~scale Tdf_benchgen.Spec.Iccad2022 in
+  print_string
+    (Tdf_experiments.Tables.comparison
+       ~title:
+         "TABLE III — legalization comparison, ICCAD 2022 suite (normalized \
+          displacement)"
+       r2022);
+  print_newline ();
+  let r2023 = Tdf_experiments.Runner.run_suite ~scale Tdf_benchgen.Spec.Iccad2023 in
+  print_string
+    (Tdf_experiments.Tables.comparison
+       ~title:
+         "TABLE IV — legalization comparison, ICCAD 2023 suite (normalized \
+          displacement)"
+       r2023);
+  print_newline ();
+  let ablation =
+    Tdf_experiments.Runner.run_suite
+      ~methods:[ Tdf_experiments.Runner.Ours_no_d2d; Tdf_experiments.Runner.Ours ]
+      ~scale Tdf_benchgen.Spec.Iccad2023
+  in
+  print_string (Tdf_experiments.Tables.ablation ablation);
+  print_newline ();
+  print_string
+    (Tdf_experiments.Figures.fig7
+       ~title:"FIG 7(a) — HPWL increase (%), ICCAD 2022 suite" r2022);
+  print_string
+    (Tdf_experiments.Figures.fig7
+       ~title:"FIG 7(b) — HPWL increase (%), ICCAD 2023 suite" r2023);
+  let csv = Tdf_experiments.Figures.fig7_csv (r2022 @ r2023) in
+  let oc = open_out "fig7_hpwl.csv" in
+  output_string oc csv;
+  close_out oc;
+  Printf.printf "\nFig. 7 data written to fig7_hpwl.csv\n";
+  let no_d2d_svg, ours_svg = Tdf_experiments.Figures.fig8 ~scale () in
+  Printf.printf "Fig. 8 visualizations written to %s and %s\n" no_d2d_svg ours_svg;
+  if Sys.getenv_opt "TDFLOW_SKIP_ABLATIONS" = None then begin
+    print_newline ();
+    print_endline "== design-choice ablations (ICCAD 2023 case3) ==";
+    let design =
+      Tdf_benchgen.Gen.generate_by_name ~scale:(Float.min scale 0.05)
+        Tdf_benchgen.Spec.Iccad2023 "case3"
+    in
+    print_string
+      (Tdf_experiments.Ablations.render
+         ~title:"Ablation: branch-and-bound slack alpha (§III-B)"
+         (Tdf_experiments.Ablations.sweep_alpha design));
+    print_string
+      (Tdf_experiments.Ablations.render
+         ~title:"Ablation: bin width w_v (§III-F)"
+         (Tdf_experiments.Ablations.sweep_bin_width design));
+    print_string
+      (Tdf_experiments.Ablations.render
+         ~title:"Ablation: D2D edge pricing (Eq. 7 + base cost)"
+         (Tdf_experiments.Ablations.sweep_d2d_cost design));
+    print_string
+      (Tdf_experiments.Ablations.render
+         ~title:"Ablation: cycle-canceling post-optimization rounds (§III-E)"
+         (Tdf_experiments.Ablations.sweep_post_opt design))
+  end

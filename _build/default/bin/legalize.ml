@@ -1,0 +1,369 @@
+(* tdflow command-line interface.
+
+     legalize gen      — generate a synthetic ICCAD-style case
+     legalize run      — legalize a design file with a chosen method
+     legalize check    — audit a placement for legality
+     legalize compare  — run all methods on a design and print a table
+     legalize tables   — regenerate the paper's tables/figures
+     legalize viz      — render a die of a placement as SVG *)
+
+open Cmdliner
+
+let design_arg =
+  let doc = "Design file (tdflow text format, see lib/io/text.ml)." in
+  Arg.(required & opt (some file) None & info [ "d"; "design" ] ~docv:"FILE" ~doc)
+
+(* Designs load from either the native text format or the contest dialect;
+   the first keyword disambiguates. *)
+let load_design path =
+  let is_contest =
+    (* first non-empty, non-comment keyword decides the dialect *)
+    let ic = open_in path in
+    let rec first_keyword () =
+      match input_line ic with
+      | exception End_of_file -> ""
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then first_keyword ()
+        else (match String.index_opt line ' ' with
+             | Some i -> String.sub line 0 i
+             | None -> line)
+    in
+    let kw = first_keyword () in
+    close_in ic;
+    List.mem kw [ "NumTechnologies"; "Tech"; "DieSize" ]
+  in
+  let result =
+    if is_contest then
+      match Tdf_io.Contest.load path with
+      | Ok (d, _) -> Ok d
+      | Error e -> Error e
+    else Tdf_io.Text.load_design path
+  in
+  match result with
+  | Ok d -> d
+  | Error e ->
+    Printf.eprintf "error: cannot load design %s: %s\n" path e;
+    exit 2
+
+let load_placement design path =
+  match Tdf_io.Text.load_placement path design with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "error: cannot load placement %s: %s\n" path e;
+    exit 2
+
+let suite_conv =
+  let parse = function
+    | "iccad2022" | "2022" -> Ok Tdf_benchgen.Spec.Iccad2022
+    | "iccad2023" | "2023" -> Ok Tdf_benchgen.Spec.Iccad2023
+    | s -> Error (`Msg (Printf.sprintf "unknown suite %S (iccad2022|iccad2023)" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Tdf_benchgen.Spec.suite_slug s) in
+  Arg.conv (parse, print)
+
+let method_conv =
+  let parse = function
+    | "tetris" -> Ok Tdf_experiments.Runner.Tetris
+    | "abacus" -> Ok Tdf_experiments.Runner.Abacus
+    | "bonn" -> Ok Tdf_experiments.Runner.Bonn
+    | "ours" | "3dflow" | "flow3d" -> Ok Tdf_experiments.Runner.Ours
+    | "no-d2d" -> Ok Tdf_experiments.Runner.Ours_no_d2d
+    | s ->
+      Error
+        (`Msg (Printf.sprintf "unknown method %S (tetris|abacus|bonn|ours|no-d2d)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt (Tdf_experiments.Runner.method_name m)
+  in
+  Arg.conv (parse, print)
+
+let scale_arg =
+  let doc = "Scale factor for generated case sizes (0 < s <= 1)." in
+  Arg.(value & opt float 0.05 & info [ "s"; "scale" ] ~docv:"S" ~doc)
+
+(* ---- gen ---------------------------------------------------------- *)
+
+let gen_cmd =
+  let suite =
+    Arg.(
+      value
+      & opt suite_conv Tdf_benchgen.Spec.Iccad2023
+      & info [ "suite" ] ~docv:"SUITE" ~doc:"Benchmark suite (iccad2022|iccad2023).")
+  in
+  let case =
+    Arg.(
+      value & opt string "case2"
+      & info [ "case" ] ~docv:"CASE" ~doc:"Case name from TABLE II (e.g. case3h).")
+  in
+  let output =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file; - for stdout.")
+  in
+  let contest =
+    Arg.(
+      value & flag
+      & info [ "contest" ]
+          ~doc:"Emit the ICCAD-contest-style dialect instead of the native \
+                format.")
+  in
+  let run suite case scale output contest =
+    match Tdf_benchgen.Spec.find suite case with
+    | exception Not_found ->
+      Printf.eprintf "error: unknown case %s\n" case;
+      exit 2
+    | spec ->
+      let design = Tdf_benchgen.Gen.generate ~scale spec in
+      let to_string d =
+        if contest then Tdf_io.Contest.to_string d
+        else Tdf_io.Text.design_to_string d
+      in
+      if output = "-" then print_string (to_string design)
+      else begin
+        if contest then Tdf_io.Contest.save output design
+        else Tdf_io.Text.save_design output design;
+        Printf.printf "wrote %s (%d cells, %d macros, %d nets)\n" output
+          (Tdf_netlist.Design.n_cells design)
+          (Array.length design.Tdf_netlist.Design.macros)
+          (Array.length design.Tdf_netlist.Design.nets)
+      end
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic ICCAD-style benchmark case.")
+    Term.(const run $ suite $ case $ scale_arg $ output $ contest)
+
+(* ---- run ---------------------------------------------------------- *)
+
+let run_cmd =
+  let meth =
+    Arg.(
+      value
+      & opt method_conv Tdf_experiments.Runner.Ours
+      & info [ "m"; "method" ] ~docv:"METHOD"
+          ~doc:"Legalizer: tetris, abacus, bonn, ours, no-d2d.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the placement here.")
+  in
+  let alpha =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "alpha" ] ~docv:"A" ~doc:"Branch-and-bound slack (default 0.1).")
+  in
+  let refine =
+    Arg.(
+      value & flag
+      & info [ "refine" ]
+          ~doc:"Run the legality-preserving HPWL refinement afterwards.")
+  in
+  let run design_path meth output alpha refine =
+    let design = load_design design_path in
+    let p, dt =
+      Tdf_util.Timer.time (fun () ->
+          match (meth, alpha) with
+          | Tdf_experiments.Runner.Ours, Some a ->
+            (Tdf_legalizer.Flow3d.legalize
+               ~cfg:{ Tdf_legalizer.Config.default with Tdf_legalizer.Config.alpha = a }
+               design)
+              .Tdf_legalizer.Flow3d.placement
+          | m, _ -> Tdf_experiments.Runner.legalize_with m design)
+    in
+    let s = Tdf_metrics.Displacement.summary design p in
+    Printf.printf "%s: avg %.3f rows, max %.2f rows, hpwl %+.2f%%, %.2fs, legal %b\n"
+      (Tdf_experiments.Runner.method_name meth)
+      s.Tdf_metrics.Displacement.avg_norm s.Tdf_metrics.Displacement.max_norm
+      (Tdf_metrics.Hpwl.increase_pct design p)
+      dt
+      (Tdf_metrics.Legality.is_legal design p);
+    if refine then begin
+      let r = Tdf_refine.Refine.run design p in
+      Printf.printf "refine: HPWL %.0f -> %.0f (%d moves), legal %b\n"
+        r.Tdf_refine.Refine.hpwl_before r.Tdf_refine.Refine.hpwl_after
+        (r.Tdf_refine.Refine.slides + r.Tdf_refine.Refine.swaps)
+        (Tdf_metrics.Legality.is_legal design p)
+    end;
+    Option.iter (fun path -> Tdf_io.Text.save_placement path design p) output
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Legalize a design with one method.")
+    Term.(const run $ design_arg $ meth $ output $ alpha $ refine)
+
+(* ---- check -------------------------------------------------------- *)
+
+let check_cmd =
+  let placement =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "p"; "placement" ] ~docv:"FILE" ~doc:"Placement file to audit.")
+  in
+  let run design_path placement_path =
+    let design = load_design design_path in
+    let p = load_placement design placement_path in
+    let rep = Tdf_metrics.Legality.check design p in
+    if rep.Tdf_metrics.Legality.n_violations = 0 then print_endline "LEGAL"
+    else begin
+      Printf.printf "ILLEGAL: %d violations (overlap area %d)\n"
+        rep.Tdf_metrics.Legality.n_violations rep.Tdf_metrics.Legality.overlap_area;
+      List.iter print_endline rep.Tdf_metrics.Legality.messages;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Audit a placement for legality.")
+    Term.(const run $ design_arg $ placement)
+
+(* ---- compare ------------------------------------------------------ *)
+
+let compare_cmd =
+  let run design_path =
+    let design = load_design design_path in
+    let r =
+      Tdf_experiments.Runner.run_case ~case:design.Tdf_netlist.Design.name design
+    in
+    print_string
+      (Tdf_experiments.Tables.comparison ~title:"Method comparison" [ r ])
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every legalizer on a design and tabulate.")
+    Term.(const run $ design_arg)
+
+(* ---- tables ------------------------------------------------------- *)
+
+let tables_cmd =
+  let which =
+    Arg.(
+      value & opt string "all"
+      & info [ "t"; "table" ] ~docv:"N" ~doc:"Which item: 2, 3, 4, 5, 7, scaling or all.")
+  in
+  let run which scale =
+    let t2 () = print_string (Tdf_experiments.Tables.table2 ~scale ()) in
+    let suite s = Tdf_experiments.Runner.run_suite ~scale s in
+    let t3 () =
+      print_string
+        (Tdf_experiments.Tables.comparison ~title:"TABLE III (ICCAD 2022)"
+           (suite Tdf_benchgen.Spec.Iccad2022))
+    in
+    let t4 () =
+      print_string
+        (Tdf_experiments.Tables.comparison ~title:"TABLE IV (ICCAD 2023)"
+           (suite Tdf_benchgen.Spec.Iccad2023))
+    in
+    let t5 () =
+      let r =
+        Tdf_experiments.Runner.run_suite
+          ~methods:
+            [ Tdf_experiments.Runner.Ours_no_d2d; Tdf_experiments.Runner.Ours ]
+          ~scale Tdf_benchgen.Spec.Iccad2023
+      in
+      print_string (Tdf_experiments.Tables.ablation r)
+    in
+    let f7 () =
+      print_string
+        (Tdf_experiments.Figures.fig7 ~title:"FIG 7(a) ICCAD 2022"
+           (suite Tdf_benchgen.Spec.Iccad2022));
+      print_string
+        (Tdf_experiments.Figures.fig7 ~title:"FIG 7(b) ICCAD 2023"
+           (suite Tdf_benchgen.Spec.Iccad2023))
+    in
+    let scaling () =
+      print_string
+        (Tdf_experiments.Scaling.render
+           (Tdf_experiments.Scaling.run Tdf_benchgen.Spec.Iccad2023 "case4"))
+    in
+    match which with
+    | "2" -> t2 ()
+    | "3" -> t3 ()
+    | "4" -> t4 ()
+    | "5" -> t5 ()
+    | "7" -> f7 ()
+    | "scaling" -> scaling ()
+    | "all" ->
+      t2 ();
+      t3 ();
+      t4 ();
+      t5 ();
+      f7 ()
+    | s ->
+      Printf.eprintf "error: unknown table %s\n" s;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables and Fig. 7.")
+    Term.(const run $ which $ scale_arg)
+
+(* ---- viz ---------------------------------------------------------- *)
+
+let viz_cmd =
+  let placement =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "p"; "placement" ] ~docv:"FILE" ~doc:"Placement to render.")
+  in
+  let die =
+    Arg.(value & opt int 1 & info [ "die" ] ~docv:"D" ~doc:"Die index to render.")
+  in
+  let output =
+    Arg.(
+      value & opt string "placement.svg"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output SVG path.")
+  in
+  let run design_path placement_path die output =
+    let design = load_design design_path in
+    let p = load_placement design placement_path in
+    Tdf_io.Svg.save_die output design p ~die
+      ~title:(Printf.sprintf "%s die %d" design.Tdf_netlist.Design.name die)
+      ();
+    Printf.printf "wrote %s\n" output
+  in
+  Cmd.v
+    (Cmd.info "viz" ~doc:"Render one die of a placement as SVG (Fig. 8 style).")
+    Term.(const run $ design_arg $ placement $ die $ output)
+
+(* ---- place -------------------------------------------------------- *)
+
+let place_cmd =
+  let iterations =
+    Arg.(
+      value & opt int 60
+      & info [ "iterations" ] ~docv:"N" ~doc:"Global-placement iterations.")
+  in
+  let output =
+    Arg.(
+      value & opt string "placed.design"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the design with the fresh global placement here.")
+  in
+  let run design_path iterations output =
+    let design = load_design design_path in
+    let r = Tdf_placer.Gp3d.place ~iterations design in
+    let first = List.nth r.Tdf_placer.Gp3d.hpwl_trace 0 in
+    let trace = r.Tdf_placer.Gp3d.hpwl_trace in
+    let last = List.nth trace (List.length trace - 1) in
+    Printf.printf "gp3d: HPWL %.0f -> %.0f over %d iterations\n" first last
+      iterations;
+    Tdf_io.Text.save_design output (Tdf_placer.Gp3d.apply design r);
+    Printf.printf "wrote %s\n" output
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:
+         "Compute a fresh true-3D global placement for a design's netlist \
+          (ignores its current gp positions).")
+    Term.(const run $ design_arg $ iterations $ output)
+
+let () =
+  let info =
+    Cmd.info "legalize" ~version:"1.0.0"
+      ~doc:"3D-Flow: flow-based standard-cell legalization for 3D ICs."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; run_cmd; check_cmd; compare_cmd; tables_cmd; viz_cmd; place_cmd ]))

@@ -1,0 +1,1 @@
+examples/bonding_terminals.ml: Array List Printf Tdf_benchgen Tdf_bonding Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_util

@@ -1,0 +1,1 @@
+examples/bonding_terminals.mli:

@@ -1,0 +1,1 @@
+examples/eco_incremental.ml: Array List Printf Tdf_benchgen Tdf_geometry Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_util

@@ -1,0 +1,1 @@
+examples/four_dies.ml: Array Printf Tdf_geometry Tdf_grid Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_util

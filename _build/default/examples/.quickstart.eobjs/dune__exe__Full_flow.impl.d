@@ -1,0 +1,1 @@
+examples/full_flow.ml: Array List Printf Tdf_benchgen Tdf_bonding Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_placer Tdf_refine

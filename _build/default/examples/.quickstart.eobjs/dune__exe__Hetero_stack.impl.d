@@ -1,0 +1,1 @@
+examples/hetero_stack.ml: Array List Printf Tdf_benchgen Tdf_grid Tdf_legalizer Tdf_metrics Tdf_netlist

@@ -1,0 +1,1 @@
+examples/hetero_stack.mli:

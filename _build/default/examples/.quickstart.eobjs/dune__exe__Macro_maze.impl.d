@@ -1,0 +1,1 @@
+examples/macro_maze.ml: Array Printf Tdf_geometry Tdf_io Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_util

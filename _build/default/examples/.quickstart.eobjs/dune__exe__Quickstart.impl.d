@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Tdf_geometry Tdf_legalizer Tdf_metrics Tdf_netlist

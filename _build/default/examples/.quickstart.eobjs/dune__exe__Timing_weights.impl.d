@@ -1,0 +1,1 @@
+examples/timing_weights.ml: Array List Printf Tdf_geometry Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_util

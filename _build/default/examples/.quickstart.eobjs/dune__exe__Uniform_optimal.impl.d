@@ -1,0 +1,1 @@
+examples/uniform_optimal.ml: Array Printf Tdf_flow Tdf_geometry Tdf_grid Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_util

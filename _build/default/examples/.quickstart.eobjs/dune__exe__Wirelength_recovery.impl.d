@@ -1,0 +1,1 @@
+examples/wirelength_recovery.ml: Array List Printf Tdf_benchgen Tdf_experiments Tdf_metrics Tdf_netlist Tdf_refine

@@ -1,0 +1,1 @@
+examples/wirelength_recovery.mli:

@@ -1,0 +1,61 @@
+(* The complete physical-design flow the paper sits in:
+
+     netlist  ->  true-3D global placement (lib/placer, as [18]/[19])
+              ->  3D-Flow legalization (lib/legalizer, the paper)
+              ->  detailed refinement (lib/refine)
+              ->  hybrid-bonding terminal assignment (lib/bonding)
+
+     dune exec examples/full_flow.exe *)
+
+module Spec = Tdf_benchgen.Spec
+module Gen = Tdf_benchgen.Gen
+module Gp3d = Tdf_placer.Gp3d
+module Flow3d = Tdf_legalizer.Flow3d
+module R = Tdf_refine.Refine
+module T = Tdf_bonding.Terminal
+
+let () =
+  (* 1. netlist: reuse the case generator's structure, discarding its
+     synthetic placement — the placer computes its own. *)
+  let skeleton = Gen.generate_by_name ~scale:0.08 Spec.Iccad2023 "case2" in
+  Printf.printf "full_flow: %d cells, %d nets, %d macros\n"
+    (Tdf_netlist.Design.n_cells skeleton)
+    (Array.length skeleton.Tdf_netlist.Design.nets)
+    (Array.length skeleton.Tdf_netlist.Design.macros);
+
+  (* 2. global placement *)
+  let gp = Gp3d.place ~iterations:50 skeleton in
+  let first = List.nth gp.Gp3d.hpwl_trace 0 in
+  let last = List.nth gp.Gp3d.hpwl_trace (List.length gp.Gp3d.hpwl_trace - 1) in
+  Printf.printf "  [gp3d]    HPWL %.0f -> %.0f over %d iterations\n" first last
+    (List.length gp.Gp3d.hpwl_trace);
+  let design = Gp3d.apply skeleton gp in
+
+  (* 3. legalization *)
+  let r = Flow3d.legalize design in
+  let p = r.Flow3d.placement in
+  let s = Tdf_metrics.Displacement.summary design p in
+  Printf.printf "  [3D-Flow] legal=%b avg disp %.3f rows, max %.2f rows, %d D2D moves\n"
+    (Tdf_metrics.Legality.is_legal design p)
+    s.Tdf_metrics.Displacement.avg_norm s.Tdf_metrics.Displacement.max_norm
+    r.Flow3d.stats.Flow3d.d2d_cells;
+
+  (* 4. refinement *)
+  let rr = R.run design p in
+  Printf.printf "  [refine]  HPWL %.0f -> %.0f (%d moves), still legal=%b\n"
+    rr.R.hpwl_before rr.R.hpwl_after
+    (rr.R.slides + rr.R.swaps)
+    (Tdf_metrics.Legality.is_legal design p);
+
+  (* 5. bonding terminals for the cut nets *)
+  let g = T.make_grid design ~size:4 ~spacing:2 in
+  let cut = List.length (T.cut_nets design p) in
+  if cut <= g.T.nx * g.T.ny then begin
+    let a = T.assign design p g in
+    Printf.printf "  [bonding] %d cut nets -> terminals, added WL %d, valid=%b\n" cut
+      a.T.total_cost
+      (T.check design g a = Ok ());
+    Printf.printf "  [total]   3D HPWL incl. terminals: %.0f\n"
+      (T.hpwl_with_terminals design p g a)
+  end
+  else Printf.printf "  [bonding] skipped: %d cut nets > %d slots\n" cut (g.T.nx * g.T.ny)

@@ -1,0 +1,62 @@
+(* Heterogeneous technology integration (the ICCAD "h" cases): the two
+   dies use different row heights and per-die cell widths, so moving a
+   cell across the D2D bond changes its footprint (§III-F).
+
+     dune exec examples/hetero_stack.exe *)
+
+module Spec = Tdf_benchgen.Spec
+module Gen = Tdf_benchgen.Gen
+module Design = Tdf_netlist.Design
+module Cell = Tdf_netlist.Cell
+module Flow3d = Tdf_legalizer.Flow3d
+
+let () =
+  (* ICCAD 2022 case3h: top die 92-unit rows, bottom die 115-unit rows. *)
+  let design = Gen.generate_by_name ~scale:0.1 Spec.Iccad2022 "case3h" in
+  Printf.printf "hetero_stack: %s (%d cells)\n" design.Design.name
+    (Design.n_cells design);
+  Printf.printf "  row heights: top %d, bottom %d\n"
+    (Design.die design 1).Tdf_netlist.Die.row_height
+    (Design.die design 0).Tdf_netlist.Die.row_height;
+  Printf.printf "  avg widths:  top %.1f, bottom %.1f\n"
+    (Design.avg_cell_width design 1)
+    (Design.avg_cell_width design 0);
+
+  let result = Flow3d.legalize design in
+  let p = result.Flow3d.placement in
+  let s = Tdf_metrics.Displacement.summary design p in
+  Printf.printf "  legal: %b  avg %.3f rows  max %.2f rows\n"
+    (Tdf_metrics.Legality.is_legal design p)
+    s.Tdf_metrics.Displacement.avg_norm s.Tdf_metrics.Displacement.max_norm;
+
+  (* Show width changes for cells that crossed the bond. *)
+  let nd = Design.n_dies design in
+  let crossed = ref [] in
+  for c = 0 to Design.n_cells design - 1 do
+    let cell = Design.cell design c in
+    let init = Cell.nearest_die cell ~n_dies:nd in
+    if p.Tdf_netlist.Placement.die.(c) <> init then crossed := c :: !crossed
+  done;
+  Printf.printf "  %d cells crossed the D2D bond; first few width changes:\n"
+    (List.length !crossed);
+  List.iteri
+    (fun i c ->
+      if i < 5 then begin
+        let cell = Design.cell design c in
+        let init = Cell.nearest_die cell ~n_dies:nd in
+        let now = p.Tdf_netlist.Placement.die.(c) in
+        Printf.printf "    cell %6d: die %d -> %d, width %d -> %d\n" c init now
+          (Cell.width_on cell init) (Cell.width_on cell now)
+      end)
+    !crossed;
+
+  (* Per-die utilization stays under each die's cap after the moves. *)
+  let bw = Flow3d.flow_bin_width design ~factor:10. in
+  let g = Tdf_grid.Grid.build design ~bin_width:bw in
+  for c = 0 to Design.n_cells design - 1 do
+    Tdf_grid.Grid.place_cell g ~cell:c ~die:p.Tdf_netlist.Placement.die.(c)
+      ~x:p.Tdf_netlist.Placement.x.(c) ~y:p.Tdf_netlist.Placement.y.(c)
+  done;
+  Printf.printf "  final utilization: bottom %.1f%%, top %.1f%%\n"
+    (100. *. Tdf_grid.Grid.die_utilization g 0)
+    (100. *. Tdf_grid.Grid.die_utilization g 1)

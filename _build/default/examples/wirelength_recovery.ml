@@ -1,0 +1,40 @@
+(* Post-legalization wirelength recovery: the legalizer minimizes
+   displacement; a refinement pass (slides, adjacent reorders,
+   interchangeable swaps — all strictly legal) then claws back HPWL, the
+   quantity Fig. 7 reports.
+
+     dune exec examples/wirelength_recovery.exe *)
+
+module Spec = Tdf_benchgen.Spec
+module Gen = Tdf_benchgen.Gen
+module Runner = Tdf_experiments.Runner
+module R = Tdf_refine.Refine
+
+let () =
+  let design = Gen.generate_by_name ~scale:0.1 Spec.Iccad2023 "case2" in
+  Printf.printf "wirelength_recovery: %s (%d cells, %d nets)\n"
+    design.Tdf_netlist.Design.name
+    (Tdf_netlist.Design.n_cells design)
+    (Array.length design.Tdf_netlist.Design.nets);
+  let gp_hpwl = Tdf_metrics.Hpwl.of_global design in
+  Printf.printf "  global-placement HPWL: %.0f\n" gp_hpwl;
+  Printf.printf "%-9s %12s %12s %10s %10s %7s %6s\n" "method" "HPWL(legal)"
+    "HPWL(ref.)" "avg.disp" "disp(ref.)" "moves" "legal";
+  List.iter
+    (fun m ->
+      let p = Runner.legalize_with m design in
+      let before = Tdf_metrics.Hpwl.of_placement design p in
+      let disp0 = (Tdf_metrics.Displacement.summary design p).Tdf_metrics.Displacement.avg_norm in
+      let r = R.run design p in
+      let after = r.R.hpwl_after in
+      let disp1 = (Tdf_metrics.Displacement.summary design p).Tdf_metrics.Displacement.avg_norm in
+      Printf.printf "%-9s %12.0f %12.0f %10.3f %10.3f %7d %6b\n"
+        (Runner.method_name m) before after disp0 disp1
+        (r.R.slides + r.R.swaps)
+        (Tdf_metrics.Legality.is_legal design p))
+    [ Runner.Tetris; Runner.Abacus; Runner.Bonn; Runner.Ours ];
+  Printf.printf
+    "(every placement stays strictly legal; HPWL can even drop below the\n\
+    \ global placement's %.0f because the synthetic GP is not\n\
+    \ wirelength-optimized.  Refinement trades displacement for HPWL.)\n"
+    gp_hpwl

@@ -1,0 +1,1 @@
+lib/baselines/abacus.ml: Array List Rowspace Tdf_geometry Tdf_legalizer Tdf_netlist

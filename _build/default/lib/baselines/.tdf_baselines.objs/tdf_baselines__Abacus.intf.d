@@ -1,0 +1,1 @@
+lib/baselines/abacus.mli: Tdf_netlist

@@ -1,0 +1,1 @@
+lib/baselines/bonn.ml: Tdf_legalizer

@@ -1,0 +1,1 @@
+lib/baselines/bonn.mli: Tdf_legalizer Tdf_netlist

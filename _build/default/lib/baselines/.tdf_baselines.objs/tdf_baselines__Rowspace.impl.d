@@ -1,0 +1,1 @@
+lib/baselines/rowspace.ml: Array List Tdf_geometry Tdf_grid Tdf_netlist

@@ -1,0 +1,1 @@
+lib/baselines/rowspace.mli: Tdf_netlist

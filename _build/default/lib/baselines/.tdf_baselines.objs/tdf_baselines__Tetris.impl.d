@@ -1,0 +1,1 @@
+lib/baselines/tetris.ml: Array List Rowspace Tdf_geometry Tdf_netlist

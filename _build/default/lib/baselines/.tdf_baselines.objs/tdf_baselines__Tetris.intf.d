@@ -1,0 +1,1 @@
+lib/baselines/tetris.mli: Tdf_netlist

@@ -1,0 +1,8 @@
+(** The Abacus legalizer [4]: cells sorted by x are inserted one at a time;
+    for each cell every nearby row segment is tried with a trial PlaceRow
+    (quadratic-movement cluster placement, shared with the 3D-Flow §III-D
+    step) and the cheapest row is committed.  Already-placed cells may
+    shift within their row, but never leave it — the behaviour the paper
+    contrasts with 3D-Flow. *)
+
+val legalize : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t

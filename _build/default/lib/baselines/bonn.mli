@@ -1,0 +1,9 @@
+(** BonnPlaceLegal [10] emulation: the same flow engine as 3D-Flow, run per
+    die in 2D with exhaustive Dijkstra path search and non-negative edge
+    costs (see {!Tdf_legalizer.Config.bonn_emulation} and DESIGN.md §1 for
+    the substitution argument). *)
+
+val legalize : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t
+
+val legalize_with_stats :
+  Tdf_netlist.Design.t -> Tdf_netlist.Placement.t * Tdf_legalizer.Flow3d.stats

@@ -1,0 +1,61 @@
+module Design = Tdf_netlist.Design
+module Die = Tdf_netlist.Die
+module Interval = Tdf_geometry.Interval
+
+type seg = { die : int; row : int; y : int; lo : int; hi : int }
+
+type t = {
+  design : Design.t;
+  segs : seg array;
+  by_die_row : int array array array;
+}
+
+let build design =
+  let nd = Design.n_dies design in
+  let segs = ref [] and count = ref 0 in
+  let by_die_row =
+    Array.init nd (fun d ->
+        let die = Design.die design d in
+        Array.init (Die.num_rows die) (fun r ->
+            let y = Die.row_y die r in
+            let ids =
+              Tdf_grid.Grid.segments_of_row design d r
+              |> List.filter_map (fun (iv : Interval.t) ->
+                     if Interval.length iv <= 0 then None
+                     else begin
+                       let id = !count in
+                       incr count;
+                       segs :=
+                         { die = d; row = r; y; lo = iv.Interval.lo; hi = iv.Interval.hi }
+                         :: !segs;
+                       Some id
+                     end)
+            in
+            Array.of_list ids))
+  in
+  { design; segs = Array.of_list (List.rev !segs); by_die_row }
+
+let iter_rows_outward t ~die ~y ~stop f =
+  let d = Design.die t.design die in
+  let nrows = Array.length t.by_die_row.(die) in
+  if nrows > 0 then begin
+    let r0 = Die.nearest_row d y in
+    let row_dist r = abs (Die.row_y d r - y) in
+    let rec expand k =
+      let lo = r0 - k and hi = r0 + k in
+      let lo_ok = lo >= 0 and hi_ok = hi < nrows && k > 0 in
+      if lo_ok || hi_ok then begin
+        let min_d =
+          min
+            (if lo_ok then row_dist lo else max_int)
+            (if hi_ok then row_dist hi else max_int)
+        in
+        if not (stop min_d) then begin
+          if lo_ok then Array.iter f t.by_die_row.(die).(lo);
+          if hi_ok then Array.iter f t.by_die_row.(die).(hi);
+          expand (k + 1)
+        end
+      end
+    in
+    expand 0
+  end

@@ -1,0 +1,25 @@
+(** Row-segment geometry shared by the greedy baselines: per die, each
+    placement row split into segments around macro blockages. *)
+
+type seg = {
+  die : int;
+  row : int;
+  y : int;  (** row bottom edge *)
+  lo : int;
+  hi : int;  (** x extent, half open *)
+}
+
+type t = {
+  design : Tdf_netlist.Design.t;
+  segs : seg array;
+  by_die_row : int array array array;  (** die → row → seg indices (x order) *)
+}
+
+val build : Tdf_netlist.Design.t -> t
+
+val iter_rows_outward :
+  t -> die:int -> y:int -> stop:(int -> bool) -> (int -> unit) -> unit
+(** [iter_rows_outward t ~die ~y ~stop f] calls [f seg_index] for segments
+    of rows in increasing distance from [y]; stops expanding once
+    [stop row_y_distance] is true for both directions (cost-bound
+    pruning). *)

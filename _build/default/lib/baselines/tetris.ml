@@ -1,0 +1,123 @@
+module Design = Tdf_netlist.Design
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Placement = Tdf_netlist.Placement
+
+(* Tetris-style greedy: cells sorted by x are placed one at a time at the
+   nearest free location.  Free space is tracked as sorted disjoint
+   intervals per row segment, so space to the left of already-placed cells
+   remains usable (unlike a pure frontier, which strands cells on dense
+   designs).  Greediness — the source of the large displacements the paper
+   reports — is in the sequential commitment, never revisiting a cell. *)
+
+type free_list = { mutable free : (int * int) list (* sorted [lo, hi) *) }
+
+let align_in ~site ~anchor ~lo ~hi x =
+  (* Nearest site-aligned position to [x] within [lo, hi]; [None] if the
+     aligned range is empty. *)
+  if site <= 1 then if lo > hi then None else Some (max lo (min hi x))
+  else begin
+    let snap_up v =
+      let d = v - anchor in
+      anchor + if d >= 0 then (d + site - 1) / site * site else -(-d / site * site)
+    in
+    let snap_down v =
+      let d = v - anchor in
+      anchor + if d >= 0 then d / site * site else -((-d + site - 1) / site * site)
+    in
+    let lo' = snap_up lo and hi' = snap_down hi in
+    if lo' > hi' then None
+    else begin
+      let x = max lo' (min hi' x) in
+      let down = max lo' (snap_down x) in
+      let up = min hi' (down + site) in
+      Some (if x - down <= up - x then down else up)
+    end
+  end
+
+let best_in_free_list fl ~site ~anchor ~w ~gp_x =
+  List.fold_left
+    (fun best (lo, hi) ->
+      if hi - lo < w then best
+      else
+        match align_in ~site ~anchor ~lo ~hi:(hi - w) gp_x with
+        | None -> best
+        | Some x ->
+          let cost = abs (x - gp_x) in
+          (match best with
+          | Some (bcost, _) when bcost <= cost -> best
+          | _ -> Some (cost, x)))
+    None fl.free
+
+let occupy fl ~x ~w =
+  let rec go = function
+    | [] -> []
+    | (lo, hi) :: rest when lo <= x && x + w <= hi ->
+      let left = if x > lo then [ (lo, x) ] else [] in
+      let right = if x + w < hi then [ (x + w, hi) ] else [] in
+      left @ right @ rest
+    | iv :: rest -> iv :: go rest
+  in
+  fl.free <- go fl.free
+
+let try_die space frees design cell ~die ~best =
+  let c = Design.cell design cell in
+  let w = Cell.width_on c die in
+  let d = Design.die design die in
+  let anchor = d.Die.outline.Tdf_geometry.Rect.x in
+  let stop ydist =
+    match !best with Some (cost, _, _) -> ydist > cost | None -> false
+  in
+  Rowspace.iter_rows_outward space ~die ~y:c.Cell.gp_y ~stop (fun si ->
+      let s = space.Rowspace.segs.(si) in
+      match
+        best_in_free_list frees.(si) ~site:d.Die.site_width ~anchor ~w
+          ~gp_x:c.Cell.gp_x
+      with
+      | None -> ()
+      | Some (xcost, x) ->
+        let cost = xcost + abs (s.Rowspace.y - c.Cell.gp_y) in
+        (match !best with
+        | Some (bcost, _, _) when bcost <= cost -> ()
+        | _ -> best := Some (cost, si, x)))
+
+let legalize design =
+  let p = Placement.initial design in
+  let space = Rowspace.build design in
+  let frees =
+    Array.map (fun s -> { free = [ (s.Rowspace.lo, s.Rowspace.hi) ] }) space.Rowspace.segs
+  in
+  let n = Design.n_cells design in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let ca = Design.cell design a and cb = Design.cell design b in
+      if ca.Cell.gp_x <> cb.Cell.gp_x then compare ca.Cell.gp_x cb.Cell.gp_x
+      else compare a b)
+    order;
+  let nd = Design.n_dies design in
+  Array.iter
+    (fun cell ->
+      let home = p.Placement.die.(cell) in
+      let best = ref None in
+      try_die space frees design cell ~die:home ~best;
+      (* Fall back to other dies only when the home die is completely full. *)
+      if !best = None then
+        for d = 0 to nd - 1 do
+          if d <> home && !best = None then try_die space frees design cell ~die:d ~best
+        done;
+      match !best with
+      | Some (_, si, x) ->
+        let s = space.Rowspace.segs.(si) in
+        let c = Design.cell design cell in
+        let w = Cell.width_on c s.Rowspace.die in
+        p.Placement.x.(cell) <- x;
+        p.Placement.y.(cell) <- s.Rowspace.y;
+        p.Placement.die.(cell) <- s.Rowspace.die;
+        occupy frees.(si) ~x ~w
+      | None ->
+        (* Nowhere to go: leave at the initial position; the legality
+           checker will report it (never happens on feasible designs). *)
+        ())
+    order;
+  p

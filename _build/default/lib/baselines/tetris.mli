@@ -1,0 +1,9 @@
+(** The Tetris legalizer [2]: cells sorted by x are placed greedily at the
+    nearest free location, tracked with a left-to-right frontier per row
+    segment.  Die assignment is fixed to the nearest die (the 2D-legalizer
+    protocol of the paper's comparisons); a die is abandoned for the next
+    one only when no segment can take the cell at all. *)
+
+val legalize : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t
+(** Legal placement; row-aligned, site-aligned, overlap-free whenever the
+    frontiers leave enough room (always on the shipped benchmarks). *)

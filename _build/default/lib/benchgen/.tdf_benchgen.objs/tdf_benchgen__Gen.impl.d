@@ -1,0 +1,1 @@
+lib/benchgen/gen.ml: Array Float List Spec Tdf_geometry Tdf_netlist Tdf_util

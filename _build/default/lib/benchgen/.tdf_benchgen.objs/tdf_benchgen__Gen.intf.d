@@ -1,0 +1,1 @@
+lib/benchgen/gen.mli: Spec Tdf_netlist

@@ -1,0 +1,1 @@
+lib/benchgen/spec.mli:

@@ -1,0 +1,230 @@
+module Prng = Tdf_util.Prng
+module Rect = Tdf_geometry.Rect
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Blockage = Tdf_netlist.Blockage
+module Net = Tdf_netlist.Net
+module Design = Tdf_netlist.Design
+
+(* Bottom-die widths are drawn from [2, 8]; the top-die width rescales the
+   footprint so cell area is roughly conserved across technologies. *)
+let draw_widths rng spec =
+  let wb = Prng.int_in rng 2 8 in
+  let wt =
+    max 1
+      (int_of_float
+         (Float.round
+            (float_of_int (wb * spec.Spec.hr_bottom) /. float_of_int spec.Spec.hr_top)))
+  in
+  [| wb; wt |]
+
+let die_heights spec = [| spec.Spec.hr_bottom; spec.Spec.hr_top |]
+
+(* Side of the (square-ish) die outline: sized so each die sits at the
+   target utilization with cells split roughly half/half, plus room for
+   macros (≈15% of the die when present). *)
+let outline_for spec widths =
+  let heights = die_heights spec in
+  let area_on d =
+    Array.fold_left (fun acc w -> acc +. float_of_int (w.(d) * heights.(d))) 0. widths
+  in
+  let per_die_need =
+    max (area_on 0) (area_on 1) *. 0.55 /. spec.Spec.utilization
+  in
+  let total = if spec.Spec.n_macros > 0 then per_die_need /. 0.85 else per_die_need in
+  let side = sqrt total in
+  let h_step = spec.Spec.hr_bottom in
+  let h = max (4 * h_step) (int_of_float side / h_step * h_step) in
+  let w = max 32 (int_of_float (total /. float_of_int h)) in
+  Rect.make ~x:0 ~y:0 ~w ~h
+
+let gen_macros rng spec (outline : Rect.t) heights =
+  if spec.Spec.n_macros = 0 then [||]
+  else begin
+    let total_area = 0.15 *. float_of_int (Rect.area outline) in
+    let per_macro = total_area /. float_of_int spec.Spec.n_macros in
+    let macros = ref [] in
+    let overlaps_existing die r =
+      List.exists
+        (fun (m : Blockage.t) -> m.Blockage.die = die && Rect.overlaps m.Blockage.rect r)
+        !macros
+    in
+    for id = 0 to spec.Spec.n_macros - 1 do
+      let die = id mod 2 in
+      let h_r = heights.(die) in
+      let rec attempt tries shrink =
+        let aspect = 0.6 +. Prng.float rng 1.2 in
+        let w = int_of_float (sqrt (per_macro *. shrink) *. aspect) in
+        let h0 = int_of_float (per_macro *. shrink /. float_of_int (max 1 w)) in
+        let h = max h_r (h0 / h_r * h_r) in
+        let w = max 8 (min w (outline.Rect.w / 2)) in
+        let h = min h (outline.Rect.h / 2 / h_r * h_r) in
+        let x = Prng.int rng (max 1 (outline.Rect.w - w)) in
+        let y0 = Prng.int rng (max 1 ((outline.Rect.h - h) / h_r)) * h_r in
+        let r = Rect.make ~x ~y:y0 ~w ~h in
+        if overlaps_existing die r then
+          if tries > 0 then attempt (tries - 1) shrink
+          else if shrink > 0.1 then attempt 50 (shrink /. 2.)
+          else ()
+        else macros := Blockage.make ~id ~die ~rect:r () :: !macros
+      in
+      attempt 50 1.0
+    done;
+    Array.of_list (List.rev !macros)
+  end
+
+let inside_macro macros die x y =
+  Array.exists
+    (fun (m : Blockage.t) ->
+      m.Blockage.die = die && Rect.contains_point m.Blockage.rect x y)
+    macros
+
+(* Global placement: mixture of Gaussian hot-spot clusters (overflow
+   sources) and a uniform background, with per-cluster die preference so
+   that die-to-die moves pay off (the Fig. 1 motivation). *)
+let gen_positions rng spec (outline : Rect.t) macros n =
+  let k = max 3 (n / 1500) in
+  let clusters =
+    Array.init k (fun _ ->
+        let cx = Prng.int rng outline.Rect.w in
+        let cy = Prng.int rng outline.Rect.h in
+        (* Mild die preference: true-3D global placements are already
+           locally die-balanced, so cross-die moves pay off for a few cells
+           only (Table V reports <1% of cells crossing). *)
+        let zpref = if Prng.bool rng then 0.38 else 0.62 in
+        let sigma = float_of_int outline.Rect.w *. (0.04 +. Prng.float rng 0.06) in
+        (cx, cy, zpref, sigma))
+  in
+  let clamp v lim = max 0 (min (lim - 1) v) in
+  Array.init n (fun _ ->
+      let clustered = Prng.float rng 1.0 < spec.Spec.cluster_bias in
+      let rec draw tries =
+        let x, y, z =
+          if clustered then begin
+            let cx, cy, zpref, sigma = Prng.choose rng clusters in
+            let x = int_of_float (Prng.gaussian rng ~mean:(float_of_int cx) ~stddev:sigma) in
+            let y = int_of_float (Prng.gaussian rng ~mean:(float_of_int cy) ~stddev:sigma) in
+            let z = Prng.gaussian rng ~mean:zpref ~stddev:0.3 in
+            (x, y, z)
+          end
+          else
+            ( Prng.int rng outline.Rect.w,
+              Prng.int rng outline.Rect.h,
+              Prng.float rng 1.0 )
+        in
+        let x = clamp x outline.Rect.w + outline.Rect.x in
+        let y = clamp y outline.Rect.h + outline.Rect.y in
+        let z = Float.max 0. (Float.min 1. z) in
+        let die = if z >= 0.5 then 1 else 0 in
+        if tries > 0 && inside_macro macros die x y then draw (tries - 1) else (x, y, z)
+      in
+      draw 4)
+
+(* Flip the die coordinate of random cells until both dies fit below the
+   utilization cap (with slack); guarantees the case is feasible. *)
+let rebalance rng widths positions heights (outline : Rect.t) macros util =
+  let n = Array.length positions in
+  let cap = Array.make 2 0. in
+  for d = 0 to 1 do
+    let nrows = outline.Rect.h / heights.(d) in
+    let blocked =
+      Array.fold_left
+        (fun acc (m : Blockage.t) ->
+          if m.Blockage.die = d then acc + Rect.area m.Blockage.rect else acc)
+        0 macros
+    in
+    cap.(d) <-
+      (float_of_int (outline.Rect.w * nrows * heights.(d)) -. float_of_int blocked)
+      /. float_of_int heights.(d)
+  done;
+  let load = Array.make 2 0. in
+  let die_of z = if z >= 0.5 then 1 else 0 in
+  Array.iteri
+    (fun i (_, _, z) ->
+      let d = die_of z in
+      load.(d) <- load.(d) +. float_of_int widths.(i).(d))
+    positions;
+  let limit d = util *. 0.97 *. cap.(d) in
+  (* A true-3D placer balances die areas; besides enforcing the caps we
+     equalize utilization, otherwise every legalizer would pour the heavy
+     die into the light one and the #Move statistic would be meaningless. *)
+  let util_of d = load.(d) /. Float.max 1. cap.(d) in
+  let flips = ref 0 in
+  while
+    (load.(0) > limit 0 || load.(1) > limit 1
+    || Float.abs (util_of 0 -. util_of 1) > 0.02)
+    && !flips < 40 * n
+  do
+    incr flips;
+    let from_die = if util_of 0 -. (limit 0 /. cap.(0)) > util_of 1 -. (limit 1 /. cap.(1)) then 0 else 1 in
+    let from_die =
+      if load.(0) <= limit 0 && load.(1) <= limit 1 then
+        if util_of 0 > util_of 1 then 0 else 1
+      else from_die
+    in
+    let i = Prng.int rng n in
+    let x, y, z = positions.(i) in
+    if die_of z = from_die then begin
+      let to_die = 1 - from_die in
+      load.(from_die) <- load.(from_die) -. float_of_int widths.(i).(from_die);
+      load.(to_die) <- load.(to_die) +. float_of_int widths.(i).(to_die);
+      positions.(i) <- (x, y, if to_die = 1 then 0.75 else 0.25)
+    end
+  done
+
+(* Locality-aware nets: pins are neighbours in a coarse spatial ordering. *)
+let gen_nets rng spec positions n_cells =
+  let order = Array.init n_cells (fun i -> i) in
+  let key i =
+    let x, y, _ = positions.(i) in
+    ((y / 64) * 1_000_000) + x
+  in
+  Array.sort (fun a b -> compare (key a) (key b)) order;
+  let draw_size () =
+    let r = Prng.int rng 100 in
+    if r < 45 then 2 else if r < 75 then 3 else if r < 90 then 4 else 5
+  in
+  Array.init spec.Spec.n_nets (fun id ->
+      let size = draw_size () in
+      let start = Prng.int rng n_cells in
+      let pins =
+        Array.init size (fun j ->
+            if j = 0 then order.(start)
+            else begin
+              let off = Prng.int_in rng 1 40 in
+              order.((start + (j * off)) mod n_cells)
+            end)
+      in
+      let dedup = Array.of_list (List.sort_uniq compare (Array.to_list pins)) in
+      let pins = if Array.length dedup >= 2 then dedup else [| order.(start); order.((start + 1) mod n_cells) |] in
+      Net.make ~id ~pins ())
+
+let generate ?(scale = 1.0) spec0 =
+  let spec = Spec.scaled spec0 ~scale in
+  let rng = Prng.of_string (Spec.suite_name spec.Spec.suite ^ "/" ^ spec.Spec.case) in
+  let n = spec.Spec.n_cells in
+  let widths = Array.init n (fun _ -> draw_widths rng spec) in
+  let heights = die_heights spec in
+  let outline = outline_for spec widths in
+  let macros = gen_macros rng spec outline heights in
+  let positions = gen_positions rng spec outline macros n in
+  rebalance rng widths positions heights outline macros spec.Spec.utilization;
+  let dies =
+    Array.init 2 (fun d ->
+        Die.make ~index:d ~outline ~row_height:heights.(d) ~site_width:1
+          ~max_util:0.99 ())
+  in
+  (* ~4%% of cells are timing-critical (legalization runs after timing
+     optimization, §I); they carry movement weight 4. *)
+  let cells =
+    Array.init n (fun id ->
+        let x, y, z = positions.(id) in
+        let weight = if Prng.int rng 100 < 4 then 4.0 else 1.0 in
+        Cell.make ~id ~weight ~widths:widths.(id) ~gp_x:x ~gp_y:y ~gp_z:z ())
+  in
+  let nets = gen_nets rng spec positions n in
+  Design.make
+    ~name:(Spec.suite_slug spec.Spec.suite ^ ":" ^ spec.Spec.case)
+    ~dies ~cells ~macros ~nets ()
+
+let generate_by_name ?scale suite case = generate ?scale (Spec.find suite case)

@@ -1,0 +1,19 @@
+(** Deterministic synthetic generator of ICCAD-2022/2023-style 3D-IC cases.
+
+    Produces, from a {!Spec.t}, a two-die F2F design whose statistics match
+    TABLE II (cell/macro/net counts, heterogeneous row heights) plus a
+    true-3D-placer-style global placement: continuous positions with
+    Gaussian hot-spot clusters (creating overflowed bins), a continuous die
+    coordinate, macro blockages on the 2023 cases, and locality-aware nets
+    for HPWL.  All randomness is seeded from the case name, so every case
+    is bit-reproducible.
+
+    Feasibility is guaranteed: per-die demand is rebalanced below the
+    utilization target before the design is emitted. *)
+
+val generate : ?scale:float -> Spec.t -> Tdf_netlist.Design.t
+(** [scale] (default 1.0) shrinks cell/net counts for fast runs. *)
+
+val generate_by_name :
+  ?scale:float -> Spec.suite -> string -> Tdf_netlist.Design.t
+(** Convenience wrapper over {!Spec.find}. *)

@@ -1,0 +1,55 @@
+type suite = Iccad2022 | Iccad2023
+
+type t = {
+  suite : suite;
+  case : string;
+  n_cells : int;
+  n_macros : int;
+  n_nets : int;
+  hr_top : int;
+  hr_bottom : int;
+  utilization : float;
+  cluster_bias : float;
+}
+
+let mk suite case n_cells n_macros n_nets hr_top hr_bottom utilization cluster_bias =
+  { suite; case; n_cells; n_macros; n_nets; hr_top; hr_bottom; utilization; cluster_bias }
+
+let iccad2022 =
+  [
+    mk Iccad2022 "case2" 2735 0 2644 176 252 0.70 0.55;
+    mk Iccad2022 "case2h" 2735 0 2644 252 252 0.70 0.55;
+    mk Iccad2022 "case3" 44764 0 44360 115 115 0.74 0.60;
+    mk Iccad2022 "case3h" 44764 0 44360 92 115 0.74 0.60;
+    mk Iccad2022 "case4" 220845 0 220071 92 115 0.78 0.65;
+    mk Iccad2022 "case4h" 220845 0 220071 103 115 0.78 0.65;
+  ]
+
+let iccad2023 =
+  [
+    mk Iccad2023 "case2" 13901 6 19547 33 33 0.76 0.65;
+    mk Iccad2023 "case2h1" 13901 6 19547 33 48 0.76 0.70;
+    mk Iccad2023 "case2h2" 13901 6 19547 33 48 0.76 0.72;
+    mk Iccad2023 "case3" 124231 34 164429 33 48 0.78 0.72;
+    (* Rows below are truncated in the available scan of TABLE II; counts
+       follow the contest's netlist reuse, heights the h-naming convention. *)
+    mk Iccad2023 "case3h" 124231 34 164429 48 48 0.78 0.70;
+    mk Iccad2023 "case4" 220843 64 220061 33 33 0.72 0.55;
+    mk Iccad2023 "case4h" 220843 64 220061 33 48 0.74 0.65;
+  ]
+
+let find suite case =
+  let pool = match suite with Iccad2022 -> iccad2022 | Iccad2023 -> iccad2023 in
+  List.find (fun s -> s.case = case) pool
+
+let suite_name = function Iccad2022 -> "ICCAD 2022" | Iccad2023 -> "ICCAD 2023"
+
+let suite_slug = function Iccad2022 -> "iccad2022" | Iccad2023 -> "iccad2023"
+
+let scaled t ~scale =
+  if scale >= 1.0 then t
+  else begin
+    let n_cells = max 64 (int_of_float (float_of_int t.n_cells *. scale)) in
+    let n_nets = max 32 (int_of_float (float_of_int t.n_nets *. scale)) in
+    { t with n_cells; n_nets }
+  end

@@ -1,0 +1,38 @@
+(** Published statistics of the ICCAD 2022 [25] and ICCAD 2023 [26] contest
+    benchmarks (TABLE II), used as generation targets.
+
+    The paper's TABLE II lists, per case, #Cells, #Macros, #Nets and the
+    top/bottom row heights h_r^+/h_r^-.  The provided scan truncates the
+    last three ICCAD-2023 rows; their cell/net counts are taken from the
+    visible 2023 case3 row and the 2022 case4 row (the contests reuse the
+    same netlists), and their row heights follow the homogeneous /
+    heterogeneous naming convention — recorded in EXPERIMENTS.md. *)
+
+type suite = Iccad2022 | Iccad2023
+
+type t = {
+  suite : suite;
+  case : string;
+  n_cells : int;
+  n_macros : int;
+  n_nets : int;
+  hr_top : int;  (** h_r^+ *)
+  hr_bottom : int;  (** h_r^- *)
+  utilization : float;  (** target per-die placement utilization *)
+  cluster_bias : float;  (** strength of GP hot spots in [0, 1] *)
+}
+
+val iccad2022 : t list
+val iccad2023 : t list
+
+val find : suite -> string -> t
+(** Raises [Not_found] for an unknown case name. *)
+
+val suite_name : suite -> string
+
+val suite_slug : suite -> string
+(** Whitespace-free identifier ("iccad2022"), used in design names so they
+    survive the text format. *)
+
+val scaled : t -> scale:float -> t
+(** Scale cell/net counts (macros kept), at least 64 cells. *)

@@ -1,0 +1,1 @@
+lib/bonding/terminal.ml: Array Format Hashtbl List Printf Tdf_flow Tdf_geometry Tdf_netlist

@@ -1,0 +1,1 @@
+lib/bonding/terminal.mli: Tdf_netlist

@@ -1,0 +1,273 @@
+module Rect = Tdf_geometry.Rect
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Net = Tdf_netlist.Net
+module Design = Tdf_netlist.Design
+module Placement = Tdf_netlist.Placement
+module Mcmf = Tdf_flow.Mcmf
+
+type grid = {
+  origin_x : int;
+  origin_y : int;
+  pitch : int;
+  nx : int;
+  ny : int;
+}
+
+let make_grid design ~size ~spacing =
+  assert (size > 0 && spacing >= 0);
+  let o = (Design.die design 0).Die.outline in
+  let pitch = size + spacing in
+  {
+    origin_x = o.Rect.x + (size / 2);
+    origin_y = o.Rect.y + (size / 2);
+    pitch;
+    nx = max 1 ((o.Rect.w - size) / pitch + 1);
+    ny = max 1 ((o.Rect.h - size) / pitch + 1);
+  }
+
+let slot_center g (i, j) = (g.origin_x + (i * g.pitch), g.origin_y + (j * g.pitch))
+
+let pin_center design p c =
+  let cell = Design.cell design c in
+  let d = p.Placement.die.(c) in
+  let w = Cell.width_on cell d in
+  let h = (Design.die design d).Die.row_height in
+  (p.Placement.x.(c) + (w / 2), p.Placement.y.(c) + (h / 2))
+
+let cut_nets design p =
+  Array.to_list design.Design.nets
+  |> List.filter_map (fun (n : Net.t) ->
+         let dies =
+           Array.fold_left
+             (fun acc pin ->
+               let d = p.Placement.die.(pin) in
+               if List.mem d acc then acc else d :: acc)
+             [] n.Net.pins
+         in
+         if List.length dies > 1 then Some n.Net.id else None)
+
+(* Bounding box of a net's pin centers. *)
+let net_bbox design p (n : Net.t) =
+  let min_x = ref max_int and max_x = ref min_int in
+  let min_y = ref max_int and max_y = ref min_int in
+  Array.iter
+    (fun pin ->
+      let x, y = pin_center design p pin in
+      if x < !min_x then min_x := x;
+      if x > !max_x then max_x := x;
+      if y < !min_y then min_y := y;
+      if y > !max_y then max_y := y)
+    n.Net.pins;
+  (!min_x, !min_y, !max_x, !max_y)
+
+(* Distance from a point to a bounding box (0 inside). *)
+let bbox_dist (x, y) (min_x, min_y, max_x, max_y) =
+  let dx = if x < min_x then min_x - x else if x > max_x then x - max_x else 0 in
+  let dy = if y < min_y then min_y - y else if y > max_y then y - max_y else 0 in
+  dx + dy
+
+type assignment = {
+  terminals : (int * (int * int)) list;
+  total_cost : int;
+}
+
+let clamp v lo hi = max lo (min hi v)
+
+(* Slots of the square ring at Chebyshev radius r around (ci, cj), clipped
+   to the grid. *)
+let ring g (ci, cj) r =
+  if r = 0 then
+    if ci >= 0 && ci < g.nx && cj >= 0 && cj < g.ny then [ (ci, cj) ] else []
+  else begin
+    let acc = ref [] in
+    let push i j = if i >= 0 && i < g.nx && j >= 0 && j < g.ny then acc := (i, j) :: !acc in
+    for i = ci - r to ci + r do
+      push i (cj - r);
+      push i (cj + r)
+    done;
+    for j = cj - r + 1 to cj + r - 1 do
+      push (ci - r) j;
+      push (ci + r) j
+    done;
+    !acc
+  end
+
+let nearest_slot_of_point g (x, y) =
+  ( clamp ((x - g.origin_x + (g.pitch / 2)) / g.pitch) 0 (g.nx - 1),
+    clamp ((y - g.origin_y + (g.pitch / 2)) / g.pitch) 0 (g.ny - 1) )
+
+(* k nearest candidate slots of a net, by ring expansion around the slot
+   closest to the bbox center (cost-sorted). *)
+let candidates_of design p g (n : Net.t) k =
+  let bbox = net_bbox design p n in
+  let min_x, min_y, max_x, max_y = bbox in
+  let center = ((min_x + max_x) / 2, (min_y + max_y) / 2) in
+  let home = nearest_slot_of_point g center in
+  let found = ref [] and count = ref 0 and r = ref 0 in
+  (* Enough rings to reach k slots even at a grid corner. *)
+  let max_r = g.nx + g.ny in
+  while !count < k && !r <= max_r do
+    let slots = ring g home !r in
+    List.iter
+      (fun s ->
+        found := (s, bbox_dist (slot_center g s) bbox) :: !found;
+        incr count)
+      slots;
+    incr r
+  done;
+  List.sort (fun (_, a) (_, b) -> compare a b) !found
+
+let assign ?(candidates = 24) design p g =
+  let nets =
+    cut_nets design p |> List.map (fun id -> design.Design.nets.(id))
+  in
+  let n_nets = List.length nets in
+  if n_nets > g.nx * g.ny then
+    failwith
+      (Printf.sprintf "Terminal.assign: %d cut nets but only %d slots" n_nets
+         (g.nx * g.ny));
+  (* Restricted assignment problem on the k-nearest candidates. *)
+  let slot_vertex = Hashtbl.create (4 * n_nets) in
+  let slot_of_vertex = Hashtbl.create (4 * n_nets) in
+  let next_vertex = ref (1 + n_nets) in
+  let net_cands =
+    List.mapi
+      (fun idx (n : Net.t) ->
+        let cands = candidates_of design p g n candidates in
+        List.iter
+          (fun (s, _) ->
+            if not (Hashtbl.mem slot_vertex s) then begin
+              Hashtbl.add slot_vertex s !next_vertex;
+              Hashtbl.add slot_of_vertex !next_vertex s;
+              incr next_vertex
+            end)
+          cands;
+        (idx, n, cands))
+      nets
+  in
+  let sink = !next_vertex in
+  let mc = Mcmf.create (sink + 1) in
+  let edge_handles = Hashtbl.create (4 * n_nets) in
+  List.iter
+    (fun (idx, _, cands) ->
+      ignore (Mcmf.add_edge mc ~src:0 ~dst:(1 + idx) ~cap:1 ~cost:0);
+      List.iter
+        (fun (s, cost) ->
+          let h =
+            Mcmf.add_edge mc ~src:(1 + idx) ~dst:(Hashtbl.find slot_vertex s)
+              ~cap:1 ~cost
+          in
+          Hashtbl.add edge_handles (idx, s) h)
+        cands)
+    net_cands;
+  Hashtbl.iter
+    (fun _ v -> ignore (Mcmf.add_edge mc ~src:v ~dst:sink ~cap:1 ~cost:0))
+    slot_vertex;
+  let _flow, _cost = Mcmf.min_cost_flow mc ~source:0 ~sink () in
+  let taken = Hashtbl.create (2 * n_nets) in
+  let result = ref [] and total = ref 0 in
+  let unassigned = ref [] in
+  List.iter
+    (fun (idx, (n : Net.t), cands) ->
+      let chosen =
+        List.find_opt
+          (fun (s, _) ->
+            match Hashtbl.find_opt edge_handles (idx, s) with
+            | Some h -> Mcmf.flow_on mc h = 1
+            | None -> false)
+          cands
+      in
+      match chosen with
+      | Some (s, cost) ->
+        Hashtbl.replace taken s ();
+        result := (n.Net.id, s) :: !result;
+        total := !total + cost
+      | None -> unassigned := (n, cands) :: !unassigned)
+    net_cands;
+  (* Fallback for contended nets: expanding rings to the first free slot. *)
+  List.iter
+    (fun ((n : Net.t), _) ->
+      let bbox = net_bbox design p n in
+      let min_x, min_y, max_x, max_y = bbox in
+      let home = nearest_slot_of_point g ((min_x + max_x) / 2, (min_y + max_y) / 2) in
+      let rec hunt r =
+        if r > g.nx + g.ny then
+          failwith "Terminal.assign: no free slot reachable"
+        else begin
+          let free =
+            ring g home r
+            |> List.filter (fun s -> not (Hashtbl.mem taken s))
+            |> List.map (fun s -> (s, bbox_dist (slot_center g s) bbox))
+            |> List.sort (fun (_, a) (_, b) -> compare a b)
+          in
+          match free with
+          | (s, cost) :: _ ->
+            Hashtbl.replace taken s ();
+            result := (n.Net.id, s) :: !result;
+            total := !total + cost
+          | [] -> hunt (r + 1)
+        end
+      in
+      hunt 0)
+    !unassigned;
+  {
+    terminals = List.sort (fun (a, _) (b, _) -> compare a b) !result;
+    total_cost = !total;
+  }
+
+let check design g a =
+  let seen = Hashtbl.create 64 in
+  let result = ref (Ok ()) in
+  let fail fmt = Format.kasprintf (fun s -> result := Error s) fmt in
+  List.iter
+    (fun (net, (i, j)) ->
+      if net < 0 || net >= Array.length design.Design.nets then
+        fail "terminal for unknown net %d" net;
+      if i < 0 || i >= g.nx || j < 0 || j >= g.ny then
+        fail "net %d terminal (%d,%d) off the grid" net i j;
+      if Hashtbl.mem seen (i, j) then fail "slot (%d,%d) assigned twice" i j;
+      Hashtbl.replace seen (i, j) ())
+    a.terminals;
+  !result
+
+let hpwl_with_terminals design p g a =
+  let term_of = Hashtbl.create 64 in
+  List.iter (fun (net, s) -> Hashtbl.replace term_of net s) a.terminals;
+  Array.fold_left
+    (fun acc (n : Net.t) ->
+      match Hashtbl.find_opt term_of n.Net.id with
+      | None ->
+        let min_x = ref max_int and max_x = ref min_int in
+        let min_y = ref max_int and max_y = ref min_int in
+        Array.iter
+          (fun pin ->
+            let x, y = pin_center design p pin in
+            min_x := min !min_x x;
+            max_x := max !max_x x;
+            min_y := min !min_y y;
+            max_y := max !max_y y)
+          n.Net.pins;
+        acc +. float_of_int (!max_x - !min_x + !max_y - !min_y)
+      | Some s ->
+        (* per-die boxes, each including the terminal *)
+        let tx, ty = slot_center g s in
+        let boxes = Hashtbl.create 4 in
+        Array.iter
+          (fun pin ->
+            let d = p.Placement.die.(pin) in
+            let x, y = pin_center design p pin in
+            let entry =
+              match Hashtbl.find_opt boxes d with
+              | Some (a, b, c, e) -> (min a x, min b y, max c x, max e y)
+              | None -> (x, y, x, y)
+            in
+            Hashtbl.replace boxes d entry)
+          n.Net.pins;
+        Hashtbl.fold
+          (fun _ (min_x, min_y, max_x, max_y) acc ->
+            let min_x = min min_x tx and max_x = max max_x tx in
+            let min_y = min min_y ty and max_y = max max_y ty in
+            acc +. float_of_int (max_x - min_x + max_y - min_y))
+          boxes acc)
+    0. design.Design.nets

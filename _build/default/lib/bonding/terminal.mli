@@ -1,0 +1,63 @@
+(** Hybrid-bonding terminal assignment for F2F-stacked designs.
+
+    In the ICCAD 2022/2023 F2F setting (§II-A), every net with pins on
+    both dies must be routed through exactly one bonding terminal on the
+    face-to-face interface.  Terminals occupy slots of a uniform grid
+    (terminal size + spacing, as the contests specify) and no two nets may
+    share a slot.
+
+    [assign] picks one slot per cut net minimizing the total added
+    wirelength, by solving a restricted assignment problem with the
+    {!Tdf_flow.Mcmf} substrate: each net is connected to its k nearest
+    free-slot candidates, and leftovers (contended regions) fall back to an
+    expanding-ring greedy.  Deterministic. *)
+
+type grid = {
+  origin_x : int;  (** x of slot (0,0)'s center *)
+  origin_y : int;
+  pitch : int;  (** terminal size + spacing *)
+  nx : int;  (** slots per row *)
+  ny : int;
+}
+
+val make_grid :
+  Tdf_netlist.Design.t -> size:int -> spacing:int -> grid
+(** Slot grid covering the common die outline. *)
+
+val slot_center : grid -> int * int -> int * int
+(** Center coordinates of slot [(i, j)]. *)
+
+val cut_nets : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> int list
+(** Nets with pins on more than one die, in increasing id. *)
+
+type assignment = {
+  terminals : (int * (int * int)) list;
+      (** net id → slot (i, j); one entry per cut net *)
+  total_cost : int;
+      (** Σ over nets of the slot's Manhattan distance to the net's pin
+          bounding box (0 when the slot is inside the box) *)
+}
+
+val assign :
+  ?candidates:int ->
+  Tdf_netlist.Design.t ->
+  Tdf_netlist.Placement.t ->
+  grid ->
+  assignment
+(** [candidates] (default 24) bounds each net's candidate slots in the
+    MCMF phase.  Raises [Failure] if the grid has fewer slots than cut
+    nets. *)
+
+val check :
+  Tdf_netlist.Design.t -> grid -> assignment -> (unit, string) result
+(** Every cut net assigned exactly once, slots distinct and on the grid. *)
+
+val hpwl_with_terminals :
+  Tdf_netlist.Design.t ->
+  Tdf_netlist.Placement.t ->
+  grid ->
+  assignment ->
+  float
+(** Contest-style wirelength: for an uncut net, the planar HPWL; for a cut
+    net, the per-die HPWL of its pins on each die with the terminal added
+    to both boxes. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Buffer List Printf Tdf_legalizer Tdf_metrics Tdf_util

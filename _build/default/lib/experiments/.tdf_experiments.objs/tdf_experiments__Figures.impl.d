@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Buffer Filename Float List Printf Runner String Tdf_benchgen Tdf_io Tdf_netlist

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array List Tdf_baselines Tdf_benchgen Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_util

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Tdf_benchgen Tdf_netlist

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Buffer List Printf Tdf_baselines Tdf_benchgen Tdf_grid Tdf_legalizer Tdf_netlist Tdf_util

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Buffer Float List Printf Runner Tdf_benchgen Tdf_util

@@ -1,0 +1,35 @@
+(** Ablation studies on the design choices the paper discusses in the
+    text: the branch-and-bound slack α (§III-B), the bin width w_v
+    (§III-F), the D2D edge pricing, and the post-optimization.  Each
+    renders a table over one benchmark case. *)
+
+type point = {
+  label : string;
+  avg_disp : float;
+  max_disp : float;
+  runtime_s : float;
+  expansions : int;
+  d2d_moves : int;
+}
+
+val sweep_alpha :
+  ?values:float list -> Tdf_netlist.Design.t -> point list
+(** α ∈ {0, 0.05, 0.1, 0.3, ∞(exhaustive)} by default: quality vs search
+    effort ("a small α = 0.1 can help our algorithm find the shortest
+    augmenting path with great efficiency"). *)
+
+val sweep_bin_width :
+  ?factors:float list -> Tdf_netlist.Design.t -> point list
+(** w_v/w̄_c ∈ {3, 5, 10, 20, 40} by default: "the choice of bin width
+    involves a trade-off between result quality and efficiency". *)
+
+val sweep_d2d_cost :
+  ?values:float list -> Tdf_netlist.Design.t -> point list
+(** D2D base cost in row heights; 0 reproduces raw Eq. 7 (many gratuitous
+    crossings), large values converge to the w/o-D2D ablation. *)
+
+val sweep_post_opt :
+  ?passes:int list -> Tdf_netlist.Design.t -> point list
+(** Post-optimization rounds: max-displacement reduction per round. *)
+
+val render : title:string -> point list -> string

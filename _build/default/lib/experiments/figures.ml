@@ -1,0 +1,64 @@
+let fig7 ~title results =
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "%s\n" title;
+  let methods =
+    match results with
+    | [] -> []
+    | r :: _ -> List.map (fun (row : Runner.row) -> row.Runner.method_) r.Runner.rows
+  in
+  let max_pct =
+    List.fold_left
+      (fun acc (r : Runner.case_result) ->
+        List.fold_left
+          (fun acc (row : Runner.row) -> Float.max acc row.Runner.hpwl_incr_pct)
+          acc r.Runner.rows)
+      1. results
+  in
+  List.iter
+    (fun (r : Runner.case_result) ->
+      out "%s\n" r.Runner.case;
+      List.iter
+        (fun m ->
+          let row =
+            List.find (fun (row : Runner.row) -> row.Runner.method_ = m) r.Runner.rows
+          in
+          let bar =
+            let n =
+              int_of_float (Float.round (row.Runner.hpwl_incr_pct /. max_pct *. 40.))
+            in
+            String.make (max 0 n) '#'
+          in
+          out "  %-8s %6.2f%% %s\n" (Runner.method_name m) row.Runner.hpwl_incr_pct bar)
+        methods)
+    results;
+  Buffer.contents buf
+
+let fig7_csv results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "case,method,hpwl_increase_pct\n";
+  List.iter
+    (fun (r : Runner.case_result) ->
+      List.iter
+        (fun (row : Runner.row) ->
+          Printf.ksprintf (Buffer.add_string buf) "%s,%s,%.4f\n" r.Runner.case
+            (Runner.method_name row.Runner.method_)
+            row.Runner.hpwl_incr_pct)
+        r.Runner.rows)
+    results;
+  Buffer.contents buf
+
+let fig8 ?(scale = 0.05) ?(dir = ".") () =
+  let design =
+    Tdf_benchgen.Gen.generate_by_name ~scale Tdf_benchgen.Spec.Iccad2023 "case3"
+  in
+  let p_no = Runner.legalize_with Runner.Ours_no_d2d design in
+  let p_ours = Runner.legalize_with Runner.Ours design in
+  let top = Tdf_netlist.Design.n_dies design - 1 in
+  let path_no = Filename.concat dir "fig8_no_d2d.svg" in
+  let path_ours = Filename.concat dir "fig8_ours.svg" in
+  Tdf_io.Svg.save_die path_no design p_no ~die:top
+    ~title:"(a) w/o D2D cell movement — top die, ICCAD 2023 case3" ();
+  Tdf_io.Svg.save_die path_ours design p_ours ~die:top
+    ~title:"(b) 3D-Flow — top die, ICCAD 2023 case3 (blue: from bottom die)" ();
+  (path_no, path_ours)

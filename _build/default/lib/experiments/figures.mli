@@ -1,0 +1,15 @@
+(** Renders the paper's figures from measured case results. *)
+
+val fig7 : title:string -> Runner.case_result list -> string
+(** Fig. 7: ΔHPWL (%) per case for every method — an aligned text series
+    plus horizontal bars. *)
+
+val fig7_csv : Runner.case_result list -> string
+(** The same data as CSV (case, method, hpwl_incr_pct) for external
+    plotting. *)
+
+val fig8 :
+  ?scale:float -> ?dir:string -> unit -> string * string
+(** Fig. 8: displacement visualization of the top die of ICCAD 2023 case3,
+    without D2D movement and with 3D-Flow.  Writes two SVGs into [dir]
+    (default ".") and returns their paths. *)

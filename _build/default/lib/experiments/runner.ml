@@ -1,0 +1,82 @@
+module Design = Tdf_netlist.Design
+module Placement = Tdf_netlist.Placement
+module Flow3d = Tdf_legalizer.Flow3d
+module Config = Tdf_legalizer.Config
+
+type method_ = Tetris | Abacus | Bonn | Ours | Ours_no_d2d
+
+let method_name = function
+  | Tetris -> "Tetris"
+  | Abacus -> "Abacus"
+  | Bonn -> "BonnPL"
+  | Ours -> "Ours"
+  | Ours_no_d2d -> "w/o D2D"
+
+let all_methods = [ Tetris; Abacus; Bonn; Ours ]
+
+type row = {
+  method_ : method_;
+  avg_disp : float;
+  max_disp : float;
+  runtime_s : float;
+  hpwl_incr_pct : float;
+  d2d_moves : int;
+  legal : bool;
+}
+
+type case_result = {
+  case : string;
+  n_cells : int;
+  rows : row list;
+}
+
+let count_d2d design (p : Placement.t) =
+  let nd = Design.n_dies design in
+  let count = ref 0 in
+  for c = 0 to Placement.n_cells p - 1 do
+    let cell = Design.cell design c in
+    if p.Placement.die.(c) <> Tdf_netlist.Cell.nearest_die cell ~n_dies:nd then
+      incr count
+  done;
+  !count
+
+let legalize_with m design =
+  match m with
+  | Tetris -> Tdf_baselines.Tetris.legalize design
+  | Abacus -> Tdf_baselines.Abacus.legalize design
+  | Bonn -> Tdf_baselines.Bonn.legalize design
+  | Ours -> (Flow3d.legalize design).Flow3d.placement
+  | Ours_no_d2d ->
+    (Flow3d.legalize ~cfg:Config.no_d2d design).Flow3d.placement
+
+let measure m design =
+  let p, runtime_s = Tdf_util.Timer.time (fun () -> legalize_with m design) in
+  let s = Tdf_metrics.Displacement.summary design p in
+  {
+    method_ = m;
+    avg_disp = s.Tdf_metrics.Displacement.avg_norm;
+    max_disp = s.Tdf_metrics.Displacement.max_norm;
+    runtime_s;
+    hpwl_incr_pct = Tdf_metrics.Hpwl.increase_pct design p;
+    d2d_moves = count_d2d design p;
+    legal = Tdf_metrics.Legality.is_legal design p;
+  }
+
+let run_case ?(methods = all_methods) ~case design =
+  {
+    case;
+    n_cells = Design.n_cells design;
+    rows = List.map (fun m -> measure m design) methods;
+  }
+
+let run_suite ?(methods = all_methods) ?(scale = 0.05) suite =
+  let specs =
+    match suite with
+    | Tdf_benchgen.Spec.Iccad2022 -> Tdf_benchgen.Spec.iccad2022
+    | Tdf_benchgen.Spec.Iccad2023 -> Tdf_benchgen.Spec.iccad2023
+  in
+  List.map
+    (fun spec ->
+      let design = Tdf_benchgen.Gen.generate ~scale spec in
+      run_case ~methods ~case:spec.Tdf_benchgen.Spec.case design)
+    specs

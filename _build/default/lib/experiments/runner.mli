@@ -1,0 +1,41 @@
+(** Runs the paper's four legalizers (plus the D2D ablation) on generated
+    benchmark cases and collects the metrics reported in §IV. *)
+
+type method_ = Tetris | Abacus | Bonn | Ours | Ours_no_d2d
+
+val method_name : method_ -> string
+
+val all_methods : method_ list
+(** The Table III/IV column order: Tetris, Abacus, Bonn, Ours. *)
+
+type row = {
+  method_ : method_;
+  avg_disp : float;  (** normalized average displacement *)
+  max_disp : float;  (** normalized maximum displacement *)
+  runtime_s : float;
+  hpwl_incr_pct : float;
+  d2d_moves : int;  (** cells on a different die than initially (0 for 2D) *)
+  legal : bool;
+}
+
+type case_result = {
+  case : string;
+  n_cells : int;
+  rows : row list;
+}
+
+val legalize_with : method_ -> Tdf_netlist.Design.t -> Tdf_netlist.Placement.t
+(** Run one legalizer (no metrics). *)
+
+val run_case :
+  ?methods:method_ list -> case:string -> Tdf_netlist.Design.t -> case_result
+(** Measure each method on a design.  Runtime is the legalization call
+    only (generation excluded — the C++ baseline's RT includes file IO;
+    EXPERIMENTS.md discusses the comparison). *)
+
+val run_suite :
+  ?methods:method_ list ->
+  ?scale:float ->
+  Tdf_benchgen.Spec.suite ->
+  case_result list
+(** Generate every case of a suite at [scale] (default 0.05) and measure. *)

@@ -1,0 +1,31 @@
+(** Runtime-vs-size study.
+
+    The paper's runtime claims (BonnPlaceLegal "unscalable for large
+    designs", 3.34×/8.89× speedups) are asymptotic: whole-graph Dijkstra
+    per augmentation vs bounded branch-and-bound search.  This study runs
+    one case at increasing scales and reports, per method, the runtime and
+    the search effort, making the growth rates visible at laptop sizes. *)
+
+type point = {
+  sc_scale : float;
+  sc_cells : int;
+  sc_bins : int;
+  tetris_s : float;
+  abacus_s : float;
+  bonn_s : float;
+  bonn_pops_per_aug : float;
+      (** mean priority-queue pops per augmentation of the exhaustive
+          search *)
+  ours_s : float;
+  ours_pops_per_aug : float;
+      (** mean pops per augmentation of the α-bounded 3D search *)
+}
+
+val run :
+  ?scales:float list ->
+  Tdf_benchgen.Spec.suite ->
+  string ->
+  point list
+(** Default scales: 0.02, 0.05, 0.1, 0.2. *)
+
+val render : point list -> string

@@ -1,0 +1,102 @@
+let find_row (r : Runner.case_result) m =
+  List.find (fun (row : Runner.row) -> row.Runner.method_ = m) r.Runner.rows
+
+let methods_of results =
+  match results with
+  | [] -> []
+  | r :: _ -> List.map (fun (row : Runner.row) -> row.Runner.method_) r.Runner.rows
+
+let normalized_row results =
+  let methods = methods_of results in
+  let ratios metric m =
+    results
+    |> List.map (fun r ->
+           let ours = find_row r Runner.Ours and it = find_row r m in
+           let a = metric it and b = metric ours in
+           if b <= 0. then 1. else a /. b)
+    |> Array.of_list
+  in
+  List.map
+    (fun m ->
+      ( m,
+        Tdf_util.Stats.geomean (ratios (fun (r : Runner.row) -> r.Runner.avg_disp) m),
+        Tdf_util.Stats.geomean (ratios (fun (r : Runner.row) -> r.Runner.max_disp) m),
+        Tdf_util.Stats.geomean (ratios (fun (r : Runner.row) -> Float.max 1e-4 r.Runner.runtime_s) m) ))
+    methods
+
+let table2 ?(scale = 1.0) () =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "TABLE II — benchmark statistics (generation targets%s)\n"
+    (if scale < 1.0 then Printf.sprintf "; generated at scale %.3g" scale else "");
+  out "%-12s %-9s %8s %7s %8s %5s %5s %10s\n" "suite" "case" "#Cells" "#Macros"
+    "#Nets" "hr+" "hr-" "gen#Cells";
+  List.iter
+    (fun (s : Tdf_benchgen.Spec.t) ->
+      let gen = Tdf_benchgen.Spec.scaled s ~scale in
+      out "%-12s %-9s %8d %7d %8d %5d %5d %10d\n"
+        (Tdf_benchgen.Spec.suite_name s.Tdf_benchgen.Spec.suite)
+        s.Tdf_benchgen.Spec.case s.Tdf_benchgen.Spec.n_cells
+        s.Tdf_benchgen.Spec.n_macros s.Tdf_benchgen.Spec.n_nets
+        s.Tdf_benchgen.Spec.hr_top s.Tdf_benchgen.Spec.hr_bottom
+        gen.Tdf_benchgen.Spec.n_cells)
+    (Tdf_benchgen.Spec.iccad2022 @ Tdf_benchgen.Spec.iccad2023);
+  Buffer.contents buf
+
+let comparison ~title results =
+  let methods = methods_of results in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "%s\n" title;
+  out "%-9s" "case";
+  List.iter
+    (fun m -> out " | %-24s" (Runner.method_name m))
+    methods;
+  out "\n%-9s" "";
+  List.iter (fun _ -> out " | %8s %8s %6s" "Avg.D" "Max.D" "RT(s)") methods;
+  out "\n";
+  List.iter
+    (fun (r : Runner.case_result) ->
+      out "%-9s" r.Runner.case;
+      List.iter
+        (fun m ->
+          let row = find_row r m in
+          out " | %8.3f %8.2f %6.2f%s" row.Runner.avg_disp row.Runner.max_disp
+            row.Runner.runtime_s
+            (if row.Runner.legal then "" else "!"))
+        methods;
+      out "\n")
+    results;
+  out "%-9s" "Average";
+  List.iter
+    (fun (_, a, mx, rt) -> out " | %8.3f %8.2f %6.2f" a mx rt)
+    (normalized_row results);
+  out "\n(Average row: geometric-mean ratio vs Ours; '!' marks an illegal result)\n";
+  Buffer.contents buf
+
+let ablation results =
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "TABLE V — ablation on die-to-die cell movement (ICCAD 2023)\n";
+  out "%-9s | %8s %8s | %8s %8s %7s\n" "case" "w/o.Avg" "w/o.Max" "Avg.D" "Max.D" "#Move";
+  List.iter
+    (fun (r : Runner.case_result) ->
+      let ours = find_row r Runner.Ours in
+      let nod2d = find_row r Runner.Ours_no_d2d in
+      out "%-9s | %8.3f %8.2f | %8.3f %8.2f %7d\n" r.Runner.case
+        nod2d.Runner.avg_disp nod2d.Runner.max_disp ours.Runner.avg_disp
+        ours.Runner.max_disp ours.Runner.d2d_moves)
+    results;
+  let ratios metric =
+    results
+    |> List.map (fun r ->
+           let ours = metric (find_row r Runner.Ours) in
+           let nod2d = metric (find_row r Runner.Ours_no_d2d) in
+           if ours <= 0. then 1. else nod2d /. ours)
+    |> Array.of_list |> Tdf_util.Stats.geomean
+  in
+  out "%-9s | %8.3f %8.2f | %8.3f %8.2f\n" "Average"
+    (ratios (fun (r : Runner.row) -> r.Runner.avg_disp))
+    (ratios (fun (r : Runner.row) -> r.Runner.max_disp))
+    1.0 1.0;
+  Buffer.contents buf

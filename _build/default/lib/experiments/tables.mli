@@ -1,0 +1,22 @@
+(** Renders the paper's tables from measured case results.
+
+    The "Average" row reproduces the paper's normalization: for each
+    method, the geometric mean over cases of (method metric ÷ Ours
+    metric), so Ours reads 1.000. *)
+
+val table2 : ?scale:float -> unit -> string
+(** TABLE II: benchmark statistics (generation targets), with the actual
+    generated counts at [scale]. *)
+
+val comparison :
+  title:string -> Runner.case_result list -> string
+(** TABLE III / TABLE IV layout: per case and method, Avg. Disp.,
+    Max. Disp., RT(s); final normalized-average row. *)
+
+val ablation : Runner.case_result list -> string
+(** TABLE V layout: w/o D2D vs Ours displacement plus #Move.  Expects each
+    case's rows to contain [Ours_no_d2d] and [Ours]. *)
+
+val normalized_row :
+  Runner.case_result list -> (Runner.method_ * float * float * float) list
+(** Per method: geomean ratios vs Ours of (avg, max, runtime). *)

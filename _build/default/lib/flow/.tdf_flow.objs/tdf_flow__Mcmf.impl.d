@@ -1,0 +1,1 @@
+lib/flow/mcmf.ml: Array Tdf_util

@@ -1,0 +1,31 @@
+(** Generic minimum-cost maximum-flow on directed graphs.
+
+    Successive shortest paths with Johnson potentials (Dijkstra per
+    augmentation); an initial Bellman–Ford pass makes negative edge costs
+    admissible.  This is the textbook solver the paper's §III-A refers to:
+    with uniform cell widths, legalization reduces exactly to this problem,
+    and the library is used by tests and by [examples/uniform_optimal.exe]
+    to cross-check 3D-Flow against provably optimal solutions. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an empty graph on vertices [0 .. n-1]. *)
+
+val n_vertices : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:int -> int
+(** Adds a directed edge and its residual reverse edge; returns an edge
+    handle for {!flow_on}.  Requires [cap >= 0]. *)
+
+val min_cost_flow :
+  t -> source:int -> sink:int -> ?max_flow:int -> unit -> int * int
+(** [min_cost_flow t ~source ~sink ()] pushes up to [max_flow] (default: as
+    much as possible) units and returns [(flow, cost)].  Each augmentation
+    uses a shortest path, so the result is a minimum-cost flow of that
+    value.  Graphs with negative *cycles* are not supported (the paper's
+    networks have none: negative edges only point back toward initial
+    positions). *)
+
+val flow_on : t -> int -> int
+(** Flow currently routed through an edge handle. *)

@@ -1,0 +1,41 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  assert (lo <= hi);
+  { lo; hi }
+
+let length i = i.hi - i.lo
+
+let is_empty i = i.hi <= i.lo
+
+let contains i x = i.lo <= x && x < i.hi
+
+let overlaps a b = a.lo < b.hi && b.lo < a.hi
+
+let intersect a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo < hi then Some { lo; hi } else None
+
+let overlap_length a b = max 0 (min a.hi b.hi - max a.lo b.lo)
+
+let clamp i x = max i.lo (min i.hi x)
+
+let subtract i holes =
+  let holes =
+    holes
+    |> List.filter_map (fun h -> intersect i h)
+    |> List.sort (fun a b -> compare a.lo b.lo)
+  in
+  (* Sweep left to right, emitting the gaps between merged holes. *)
+  let rec sweep cursor holes acc =
+    match holes with
+    | [] ->
+      let acc = if cursor < i.hi then { lo = cursor; hi = i.hi } :: acc else acc in
+      List.rev acc
+    | h :: rest ->
+      let acc = if cursor < h.lo then { lo = cursor; hi = h.lo } :: acc else acc in
+      sweep (max cursor h.hi) rest acc
+  in
+  sweep i.lo holes []
+
+let pp fmt i = Format.fprintf fmt "[%d,%d)" i.lo i.hi

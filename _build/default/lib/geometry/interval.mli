@@ -1,0 +1,33 @@
+(** Half-open integer intervals [\[lo, hi)]. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi]; requires [lo <= hi]. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val contains : t -> int -> bool
+(** [contains i x] is true when [lo <= x < hi]. *)
+
+val overlaps : t -> t -> bool
+(** Strictly positive-length intersection. *)
+
+val intersect : t -> t -> t option
+(** Positive-length intersection, if any. *)
+
+val overlap_length : t -> t -> int
+(** Length of the intersection (0 when disjoint). *)
+
+val clamp : t -> int -> int
+(** [clamp i x] is the nearest point of [\[lo, hi\]] to [x] (note: inclusive
+    upper bound, the natural clamp for a coordinate that must stay inside). *)
+
+val subtract : t -> t list -> t list
+(** [subtract i holes] is the list of maximal sub-intervals of [i] not covered
+    by any interval in [holes], in increasing order.  Used to split placement
+    rows into segments around macro blockages. *)
+
+val pp : Format.formatter -> t -> unit

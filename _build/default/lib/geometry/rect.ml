@@ -1,0 +1,31 @@
+type t = { x : int; y : int; w : int; h : int }
+
+let make ~x ~y ~w ~h =
+  assert (w >= 0 && h >= 0);
+  { x; y; w; h }
+
+let x_span r = Interval.make r.x (r.x + r.w)
+
+let y_span r = Interval.make r.y (r.y + r.h)
+
+let area r = r.w * r.h
+
+let overlaps a b =
+  Interval.overlaps (x_span a) (x_span b) && Interval.overlaps (y_span a) (y_span b)
+
+let intersection_area a b =
+  Interval.overlap_length (x_span a) (x_span b)
+  * Interval.overlap_length (y_span a) (y_span b)
+
+let contains_rect outer inner =
+  outer.x <= inner.x
+  && outer.y <= inner.y
+  && inner.x + inner.w <= outer.x + outer.w
+  && inner.y + inner.h <= outer.y + outer.h
+
+let contains_point r px py =
+  Interval.contains (x_span r) px && Interval.contains (y_span r) py
+
+let manhattan (x1, y1) (x2, y2) = abs (x1 - x2) + abs (y1 - y2)
+
+let pp fmt r = Format.fprintf fmt "(%d,%d)+%dx%d" r.x r.y r.w r.h

@@ -1,0 +1,26 @@
+(** Axis-aligned integer rectangles (low-left corner + size). *)
+
+type t = { x : int; y : int; w : int; h : int }
+
+val make : x:int -> y:int -> w:int -> h:int -> t
+(** Requires non-negative size. *)
+
+val x_span : t -> Interval.t
+val y_span : t -> Interval.t
+
+val area : t -> int
+
+val overlaps : t -> t -> bool
+(** Strictly positive-area intersection. *)
+
+val intersection_area : t -> t -> int
+
+val contains_rect : t -> t -> bool
+(** [contains_rect outer inner]. *)
+
+val contains_point : t -> int -> int -> bool
+
+val manhattan : int * int -> int * int -> int
+(** Manhattan distance between two points. *)
+
+val pp : Format.formatter -> t -> unit

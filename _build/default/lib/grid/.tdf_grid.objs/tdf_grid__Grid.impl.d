@@ -1,0 +1,1 @@
+lib/grid/grid.ml: Array Float Format Hashtbl List Tdf_geometry Tdf_netlist

@@ -1,0 +1,478 @@
+module Interval = Tdf_geometry.Interval
+module Rect = Tdf_geometry.Rect
+module Design = Tdf_netlist.Design
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Blockage = Tdf_netlist.Blockage
+module Placement = Tdf_netlist.Placement
+
+type edge_kind = Horizontal | Vertical | D2d
+
+type edge = { dst : int; kind : edge_kind }
+
+type frag = { cell : int; mutable rho : float }
+
+type bin = {
+  id : int;
+  die : int;
+  row : int;
+  seg : int;
+  x : int;
+  y : int;
+  width : int;
+  mutable frags : frag list;
+  mutable used : float;
+}
+
+type segment = {
+  sid : int;
+  s_die : int;
+  s_row : int;
+  s_lo : int;
+  s_hi : int;
+  s_bins : int array;
+}
+
+type t = {
+  design : Design.t;
+  bins : bin array;
+  segments : segment array;
+  row_segments : int array array array;
+  edges : edge array array;
+  cell_frags : (int * float) list array;
+  cell_seg : int array;
+  die_used : float array;
+  die_cap : float array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let segments_of_row design d r =
+  let die = Design.die design d in
+  let row_y = Die.row_y die r in
+  let row_span = Interval.make row_y (row_y + die.Die.row_height) in
+  let x_span = Rect.x_span die.Die.outline in
+  let holes =
+    design.Design.macros
+    |> Array.to_list
+    |> List.filter_map (fun m ->
+           if
+             m.Blockage.die = d
+             && Interval.overlaps (Rect.y_span m.Blockage.rect) row_span
+           then Some (Rect.x_span m.Blockage.rect)
+           else None)
+  in
+  Interval.subtract x_span holes
+
+(* Split a segment of length [len] into near-uniform bins of target width
+   [w_v]: the remainder is spread one unit at a time instead of leaving a
+   sliver bin at the end. *)
+let bin_widths ~len ~bin_width =
+  let nbins = max 1 ((len + (bin_width / 2)) / bin_width) in
+  let base = len / nbins and rem = len mod nbins in
+  Array.init nbins (fun i -> if i < rem then base + 1 else base)
+
+let build design ~bin_width =
+  assert (bin_width > 0);
+  let nd = Design.n_dies design in
+  let bins = ref [] and segments = ref [] in
+  let n_bin = ref 0 and n_seg = ref 0 in
+  let row_segments =
+    Array.init nd (fun d ->
+        let die = Design.die design d in
+        Array.init (Die.num_rows die) (fun r ->
+            let segs = segments_of_row design d r in
+            let y = Die.row_y die r in
+            let ids =
+              List.filter_map
+                (fun (iv : Interval.t) ->
+                  let len = Interval.length iv in
+                  if len <= 0 then None
+                  else begin
+                    let sid = !n_seg in
+                    incr n_seg;
+                    let widths = bin_widths ~len ~bin_width in
+                    let cursor = ref iv.Interval.lo in
+                    let bin_ids =
+                      Array.map
+                        (fun w ->
+                          let id = !n_bin in
+                          incr n_bin;
+                          bins :=
+                            { id; die = d; row = r; seg = sid; x = !cursor; y;
+                              width = w; frags = []; used = 0. }
+                            :: !bins;
+                          cursor := !cursor + w;
+                          id)
+                        widths
+                    in
+                    segments :=
+                      { sid; s_die = d; s_row = r; s_lo = iv.Interval.lo;
+                        s_hi = iv.Interval.hi; s_bins = bin_ids }
+                      :: !segments;
+                    Some sid
+                  end)
+                segs
+            in
+            Array.of_list ids))
+  in
+  let bins = Array.of_list (List.rev !bins) in
+  let segments = Array.of_list (List.rev !segments) in
+  Array.iteri (fun i b -> assert (b.id = i)) bins;
+  let edges = Array.make (Array.length bins) [] in
+  let add_edge src dst kind = edges.(src) <- { dst; kind } :: edges.(src) in
+  (* Horizontal edges: consecutive bins of a segment. *)
+  Array.iter
+    (fun s ->
+      let ids = s.s_bins in
+      for i = 0 to Array.length ids - 2 do
+        add_edge ids.(i) ids.(i + 1) Horizontal;
+        add_edge ids.(i + 1) ids.(i) Horizontal
+      done)
+    segments;
+  (* Bins of a row in x order (concatenating its segments). *)
+  let row_bins d r =
+    row_segments.(d).(r)
+    |> Array.to_list
+    |> List.concat_map (fun sid -> Array.to_list segments.(sid).s_bins)
+    |> Array.of_list
+  in
+  let x_overlap a b =
+    Interval.overlaps
+      (Interval.make a.x (a.x + a.width))
+      (Interval.make b.x (b.x + b.width))
+  in
+  (* Connect x-overlapping bins of two sorted bin-id arrays. *)
+  let connect_overlapping ids1 ids2 kind =
+    let n1 = Array.length ids1 and n2 = Array.length ids2 in
+    let j = ref 0 in
+    for i = 0 to n1 - 1 do
+      let b1 = bins.(ids1.(i)) in
+      while !j < n2 && bins.(ids2.(!j)).x + bins.(ids2.(!j)).width <= b1.x do
+        incr j
+      done;
+      let k = ref !j in
+      while !k < n2 && bins.(ids2.(!k)).x < b1.x + b1.width do
+        let b2 = bins.(ids2.(!k)) in
+        if x_overlap b1 b2 then begin
+          add_edge b1.id b2.id kind;
+          add_edge b2.id b1.id kind
+        end;
+        incr k
+      done
+    done
+  in
+  (* Vertical edges: adjacent rows of a die. *)
+  for d = 0 to nd - 1 do
+    let nrows = Array.length row_segments.(d) in
+    for r = 0 to nrows - 2 do
+      connect_overlapping (row_bins d r) (row_bins d (r + 1)) Vertical
+    done
+  done;
+  (* D2D edges: adjacent dies in the stack, rows with planar y-overlap. *)
+  for d = 0 to nd - 2 do
+    let die_lo = Design.die design d and die_hi = Design.die design (d + 1) in
+    let nrows_lo = Array.length row_segments.(d) in
+    for r1 = 0 to nrows_lo - 1 do
+      let y1 = Die.row_y die_lo r1 in
+      let span1 = Interval.make y1 (y1 + die_lo.Die.row_height) in
+      let nrows_hi = Array.length row_segments.(d + 1) in
+      for r2 = 0 to nrows_hi - 1 do
+        let y2 = Die.row_y die_hi r2 in
+        let span2 = Interval.make y2 (y2 + die_hi.Die.row_height) in
+        if Interval.overlaps span1 span2 then
+          connect_overlapping (row_bins d r1) (row_bins (d + 1) r2) D2d
+      done
+    done
+  done;
+  let die_cap = Array.make nd 0. in
+  Array.iter
+    (fun b -> die_cap.(b.die) <- die_cap.(b.die) +. float_of_int b.width)
+    bins;
+  {
+    design;
+    bins;
+    segments;
+    row_segments;
+    edges = Array.map Array.of_list edges;
+    cell_frags = Array.make (Design.n_cells design) [];
+    cell_seg = Array.make (Design.n_cells design) (-1);
+    die_used = Array.make nd 0.;
+    die_cap;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let n_bins t = Array.length t.bins
+
+let cap b = b.width
+
+let supply b = Float.max 0. (b.used -. float_of_int b.width)
+
+let demand b = Float.max 0. (float_of_int b.width -. b.used)
+
+let total_overflow t = Array.fold_left (fun acc b -> acc +. supply b) 0. t.bins
+
+let overflowed_bins t =
+  Array.fold_left (fun acc b -> if supply b > 0. then b :: acc else acc) [] t.bins
+
+let die_utilization t d =
+  if t.die_cap.(d) <= 0. then 1.0 else t.die_used.(d) /. t.die_cap.(d)
+
+let est_disp t ~cell b =
+  let c = Design.cell t.design cell in
+  let w = Cell.width_on c b.die in
+  let xmax = max b.x (b.x + b.width - w) in
+  let x = max b.x (min xmax c.Cell.gp_x) in
+  abs (x - c.Cell.gp_x) + abs (b.y - c.Cell.gp_y)
+
+(* ------------------------------------------------------------------ *)
+(* Slot search                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let find_slot t ~die ~x ~y ~w =
+  let d = Design.die t.design die in
+  let nrows = Array.length t.row_segments.(die) in
+  if nrows = 0 then None
+  else begin
+    let r0 = Die.nearest_row d y in
+    let best = ref None in
+    let consider sid =
+      let s = t.segments.(sid) in
+      if s.s_hi - s.s_lo >= w then begin
+        let cx = max s.s_lo (min (s.s_hi - w) x) in
+        let cy = Die.row_y d s.s_row in
+        let cost = abs (cx - x) + abs (cy - y) in
+        match !best with
+        | Some (bcost, _, _) when bcost <= cost -> ()
+        | _ -> best := Some (cost, sid, cx)
+      end
+    in
+    let row_dist r = abs (Die.row_y d r - y) in
+    (* Expand outward from the nearest row; stop once the row's y distance
+       alone exceeds the best complete cost. *)
+    let rec expand k =
+      let lo = r0 - k and hi = r0 + k in
+      let lo_ok = lo >= 0 and hi_ok = hi < nrows && k > 0 in
+      if (not lo_ok) && not hi_ok then ()
+      else begin
+        let min_d =
+          min
+            (if lo_ok then row_dist lo else max_int)
+            (if hi_ok then row_dist hi else max_int)
+        in
+        let prune = match !best with Some (c, _, _) -> min_d > c | None -> false in
+        if not prune then begin
+          if lo_ok then Array.iter consider t.row_segments.(die).(lo);
+          if hi_ok then Array.iter consider t.row_segments.(die).(hi);
+          expand (k + 1)
+        end
+      end
+    in
+    expand 0;
+    match !best with Some (_, sid, cx) -> Some (sid, cx) | None -> None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_frag t b ~cell ~rho ~w =
+  let dw = rho *. float_of_int w in
+  (match List.find_opt (fun f -> f.cell = cell) b.frags with
+  | Some f -> f.rho <- f.rho +. rho
+  | None -> b.frags <- { cell; rho } :: b.frags);
+  b.used <- b.used +. dw;
+  t.die_used.(b.die) <- t.die_used.(b.die) +. dw;
+  t.cell_frags.(cell) <-
+    (match List.assoc_opt b.id t.cell_frags.(cell) with
+    | Some r ->
+      (b.id, r +. rho) :: List.remove_assoc b.id t.cell_frags.(cell)
+    | None -> (b.id, rho) :: t.cell_frags.(cell))
+
+let sub_frag t b ~cell ~rho ~w =
+  let dw = rho *. float_of_int w in
+  (match List.find_opt (fun f -> f.cell = cell) b.frags with
+  | Some f ->
+    f.rho <- f.rho -. rho;
+    if f.rho <= 1e-9 then b.frags <- List.filter (fun g -> g.cell <> cell) b.frags
+  | None -> invalid_arg "Grid.sub_frag: cell not in bin");
+  b.used <- Float.max 0. (b.used -. dw);
+  t.die_used.(b.die) <- Float.max 0. (t.die_used.(b.die) -. dw);
+  let remaining =
+    match List.assoc_opt b.id t.cell_frags.(cell) with
+    | Some r -> r -. rho
+    | None -> 0.
+  in
+  t.cell_frags.(cell) <-
+    (if remaining <= 1e-9 then List.remove_assoc b.id t.cell_frags.(cell)
+     else (b.id, remaining) :: List.remove_assoc b.id t.cell_frags.(cell))
+
+let distribute_in_segment t ~cell ~sid ~x =
+  let s = t.segments.(sid) in
+  let c = Design.cell t.design cell in
+  let w = Cell.width_on c s.s_die in
+  let x = max s.s_lo (min (max s.s_lo (s.s_hi - w)) x) in
+  let span = Interval.make x (x + w) in
+  let total = ref 0. in
+  Array.iter
+    (fun bid ->
+      let b = t.bins.(bid) in
+      let ov = Interval.overlap_length (Interval.make b.x (b.x + b.width)) span in
+      if ov > 0 then begin
+        let rho = float_of_int ov /. float_of_int w in
+        let rho = Float.min rho (1. -. !total) in
+        if rho > 0. then begin
+          add_frag t b ~cell ~rho ~w;
+          total := !total +. rho
+        end
+      end)
+    s.s_bins;
+  (* Any residue (cell wider than the segment) lands in the last bin. *)
+  if !total < 1. -. 1e-9 then begin
+    let last = t.bins.(s.s_bins.(Array.length s.s_bins - 1)) in
+    add_frag t last ~cell ~rho:(1. -. !total) ~w
+  end;
+  t.cell_seg.(cell) <- sid
+
+let widest_segment t die =
+  let best = ref None in
+  Array.iter
+    (fun s ->
+      if s.s_die = die then
+        match !best with
+        | Some b when t.segments.(b).s_hi - t.segments.(b).s_lo >= s.s_hi - s.s_lo ->
+          ()
+        | _ -> best := Some s.sid)
+    t.segments;
+  !best
+
+let place_cell t ~cell ~die ~x ~y =
+  assert (t.cell_seg.(cell) = -1);
+  let c = Design.cell t.design cell in
+  let try_die d =
+    let w = Cell.width_on c d in
+    find_slot t ~die:d ~x ~y ~w
+  in
+  let slot =
+    match try_die die with
+    | Some _ as s -> s
+    | None ->
+      (* Nothing fits on the requested die: other dies, then the widest
+         segment anywhere as a last resort. *)
+      let nd = Design.n_dies t.design in
+      let rec others d =
+        if d >= nd then None
+        else if d = die then others (d + 1)
+        else match try_die d with Some _ as s -> s | None -> others (d + 1)
+      in
+      (match others 0 with
+      | Some _ as s -> s
+      | None ->
+        (match widest_segment t die with
+        | Some sid -> Some (sid, max t.segments.(sid).s_lo x)
+        | None -> None))
+  in
+  match slot with
+  | Some (sid, cx) -> distribute_in_segment t ~cell ~sid ~x:cx
+  | None -> invalid_arg "Grid.place_cell: no segment available on any die"
+
+let assign_initial t p =
+  for cell = 0 to Design.n_cells t.design - 1 do
+    place_cell t ~cell ~die:p.Placement.die.(cell) ~x:p.Placement.x.(cell)
+      ~y:p.Placement.y.(cell)
+  done
+
+let remove_cell t ~cell =
+  let frags = t.cell_frags.(cell) in
+  List.iter
+    (fun (bid, rho) ->
+      let b = t.bins.(bid) in
+      let c = Design.cell t.design cell in
+      sub_frag t b ~cell ~rho ~w:(Cell.width_on c b.die))
+    frags;
+  t.cell_frags.(cell) <- [];
+  t.cell_seg.(cell) <- -1
+
+let move_fraction t ~cell ~src ~dst ~rho =
+  assert (src.seg = dst.seg);
+  let c = Design.cell t.design cell in
+  let w = Cell.width_on c src.die in
+  let avail =
+    match List.find_opt (fun f -> f.cell = cell) src.frags with
+    | Some f -> f.rho
+    | None -> 0.
+  in
+  let rho = Float.min rho avail in
+  if rho > 0. then begin
+    sub_frag t src ~cell ~rho ~w;
+    add_frag t dst ~cell ~rho ~w
+  end
+
+let move_whole t ~cell ~dst =
+  remove_cell t ~cell;
+  let c = Design.cell t.design cell in
+  add_frag t dst ~cell ~rho:1.0 ~w:(Cell.width_on c dst.die);
+  t.cell_seg.(cell) <- dst.seg
+
+let frag_rho_in t ~cell b =
+  match List.assoc_opt b.id t.cell_frags.(cell) with Some r -> r | None -> 0.
+
+let segment_of_cell t cell = t.cell_seg.(cell)
+
+let cells_of_segment t sid =
+  let s = t.segments.(sid) in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun bid ->
+      List.iter
+        (fun f -> if not (Hashtbl.mem seen f.cell) then Hashtbl.add seen f.cell ())
+        t.bins.(bid).frags)
+    s.s_bins;
+  Hashtbl.fold (fun c () acc -> c :: acc) seen []
+
+(* ------------------------------------------------------------------ *)
+(* Invariants (test hook)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let eps = 1e-6 in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let result = ref (Ok ()) in
+  let ncells = Design.n_cells t.design in
+  for cell = 0 to ncells - 1 do
+    if !result = Ok () then begin
+      let frags = t.cell_frags.(cell) in
+      let total = List.fold_left (fun acc (_, r) -> acc +. r) 0. frags in
+      if frags <> [] && Float.abs (total -. 1.) > eps then
+        result := fail "cell %d total rho = %f" cell total;
+      if frags = [] && t.cell_seg.(cell) <> -1 then
+        result := fail "cell %d has no frags but segment %d" cell t.cell_seg.(cell);
+      List.iter
+        (fun (bid, _) ->
+          if t.bins.(bid).seg <> t.cell_seg.(cell) then
+            result :=
+              fail "cell %d fragment in segment %d but registered in %d" cell
+                t.bins.(bid).seg t.cell_seg.(cell))
+        frags
+    end
+  done;
+  Array.iter
+    (fun b ->
+      if !result = Ok () then begin
+        let used =
+          List.fold_left
+            (fun acc f ->
+              let c = Design.cell t.design f.cell in
+              acc +. (f.rho *. float_of_int (Cell.width_on c b.die)))
+            0. b.frags
+        in
+        if Float.abs (used -. b.used) > 1e-3 then
+          result := fail "bin %d used=%f but frags sum to %f" b.id b.used used
+      end)
+    t.bins;
+  !result

@@ -1,0 +1,132 @@
+(** The 3D grid graph G(V, E) of §II-B and the fractional cell-to-bin
+    assignment Γ(v).
+
+    Every die is divided into placement rows; macros split rows into
+    segments; segments are divided into near-uniform bins of a target width
+    [w_v].  Bins are the flow-network vertices.  Edges:
+
+    - {e horizontal}: adjacent bins of the same segment (fractional cell
+      moves allowed);
+    - {e vertical}: bins of adjacent rows on the same die with x-overlap
+      (whole-cell moves);
+    - {e D2D}: bins of adjacent dies whose row spans and x spans overlap
+      planarly (whole-cell moves, cell width switches to the target die).
+
+    The structure is mutable: the legalizer moves (fractions of) cells
+    between bins; [used]/[supply]/[demand] are maintained incrementally. *)
+
+type edge_kind = Horizontal | Vertical | D2d
+
+type edge = { dst : int; kind : edge_kind }
+
+type frag = { cell : int; mutable rho : float }
+(** A fractional cell (c_γ, ρ_γ); the fractions of one cell always live in
+    bins of a single segment and sum to 1. *)
+
+type bin = {
+  id : int;
+  die : int;
+  row : int;
+  seg : int;
+  x : int;
+  y : int;
+  width : int;  (** capacity cap(v) in x units *)
+  mutable frags : frag list;
+  mutable used : float;  (** Σ ρ_γ·w_{c_γ} over [frags] *)
+}
+
+type segment = {
+  sid : int;
+  s_die : int;
+  s_row : int;
+  s_lo : int;
+  s_hi : int;
+  s_bins : int array;  (** bin ids in increasing x *)
+}
+
+type t = {
+  design : Tdf_netlist.Design.t;
+  bins : bin array;
+  segments : segment array;
+  row_segments : int array array array;  (** die → row → segment ids (x order) *)
+  edges : edge array array;  (** bin id → adjacency *)
+  cell_frags : (int * float) list array;  (** cell → (bin id, ρ) list *)
+  cell_seg : int array;  (** cell → segment id, -1 when unassigned *)
+  die_used : float array;  (** per-die Σ used *)
+  die_cap : float array;  (** per-die Σ cap *)
+}
+
+val segments_of_row :
+  Tdf_netlist.Design.t -> int -> int -> Tdf_geometry.Interval.t list
+(** [segments_of_row design die row] is the x-extent of each placement
+    segment of that row: the die outline minus the macros overlapping the
+    row, in increasing x.  Shared with the baseline legalizers. *)
+
+val build : Tdf_netlist.Design.t -> bin_width:int -> t
+(** Build the empty grid (no cells assigned) with target bin width
+    [bin_width] (the paper uses 10·w̄_c for legalization, 5·w̄_c for
+    post-optimization). *)
+
+val n_bins : t -> int
+
+val cap : bin -> int
+
+val supply : bin -> float
+(** sup(v) = max(0, used − cap)  (Eq. 1). *)
+
+val demand : bin -> float
+(** dem(v) = max(0, cap − used)  (Eq. 2). *)
+
+val total_overflow : t -> float
+(** Σ_v sup(v). *)
+
+val overflowed_bins : t -> bin list
+
+val die_utilization : t -> int -> float
+(** Current used/capacity ratio of a die. *)
+
+val est_disp : t -> cell:int -> bin -> int
+(** D_c(v) of Eq. 4: Manhattan distance from the cell's initial position to
+    the nearest legal spot inside bin [v] (x clamped into the bin, y = row
+    bottom), using the cell's width on the bin's die. *)
+
+val find_slot : t -> die:int -> x:int -> y:int -> w:int -> (int * int) option
+(** [find_slot t ~die ~x ~y ~w] finds the segment on [die] minimizing the
+    Manhattan distance from [(x, y)] to a position where a width-[w] cell
+    fits; returns [(segment id, clamped x)].  [None] when no segment of the
+    die can hold width [w]. *)
+
+val place_cell : t -> cell:int -> die:int -> x:int -> y:int -> unit
+(** Assign cell to its nearest bins on [die] near [(x, y)]: picks the best
+    segment via {!find_slot} (falling back to the widest segment, then to
+    other dies, if the cell fits nowhere on [die]) and distributes the cell
+    fractionally over the bins its span overlaps.  The cell must currently
+    be unassigned. *)
+
+val assign_initial : t -> Tdf_netlist.Placement.t -> unit
+(** Assign every cell from a placement (die from [p.die], position from
+    [p.x]/[p.y]), as in Fig. 3(a) / Alg. 2 line 2. *)
+
+val remove_cell : t -> cell:int -> unit
+(** Remove all fractions of a cell from the grid. *)
+
+val move_fraction : t -> cell:int -> src:bin -> dst:bin -> rho:float -> unit
+(** Move a ρ-fraction of [cell] from [src] to its horizontally adjacent
+    [dst] (same segment).  Clips to the available fraction. *)
+
+val move_whole : t -> cell:int -> dst:bin -> unit
+(** Move the complete cell (all fractions, §III-B) into [dst]; updates the
+    cell's effective width when [dst] is on another die. *)
+
+val frag_rho_in : t -> cell:int -> bin -> float
+(** Fraction of [cell] currently in [bin] (0 when absent). *)
+
+val segment_of_cell : t -> int -> int
+(** Segment currently holding the cell's fractions; -1 when unassigned. *)
+
+val cells_of_segment : t -> int -> int list
+(** Distinct cells having fractions in the segment. *)
+
+val check_invariants : t -> (unit, string) result
+(** Test hook: per-cell Σρ = 1 (or 0 if unassigned), single-segment
+    fragments, [used] consistent with [frags], die accounting consistent. *)

@@ -1,0 +1,1 @@
+lib/io/contest.ml: Array Float Format Hashtbl List Printf String Tdf_geometry Tdf_netlist

@@ -1,0 +1,1 @@
+lib/io/contest.mli: Format Tdf_netlist

@@ -1,0 +1,1 @@
+lib/io/svg.ml: Array Buffer Printf Tdf_geometry Tdf_netlist

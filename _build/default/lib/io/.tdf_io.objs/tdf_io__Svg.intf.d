@@ -1,0 +1,1 @@
+lib/io/svg.mli: Tdf_netlist

@@ -1,0 +1,1 @@
+lib/io/text.ml: Array Format List String Tdf_geometry Tdf_netlist

@@ -1,0 +1,1 @@
+lib/io/text.mli: Format Tdf_netlist

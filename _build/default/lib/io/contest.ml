@@ -1,0 +1,333 @@
+module Rect = Tdf_geometry.Rect
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Blockage = Tdf_netlist.Blockage
+module Net = Tdf_netlist.Net
+module Design = Tdf_netlist.Design
+
+type terminal_spec = { t_size : int; t_spacing : int }
+
+exception Parse of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse s)) fmt
+
+let int_of ~line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "line %d: expected integer, got %S" line s
+
+let float_of ~line s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail "line %d: expected number, got %S" line s
+
+type raw_inst = { ri_name : string; ri_lib : string }
+
+type parse_state = {
+  mutable techs : (string, (string, int * int) Hashtbl.t) Hashtbl.t;
+  mutable cur_tech : (string, int * int) Hashtbl.t option;
+  mutable die_size : (int * int * int * int) option;
+  mutable top_util : float;
+  mutable bottom_util : float;
+  mutable top_rows : (int * int * int * int * int) option;
+  mutable bottom_rows : (int * int * int * int * int) option;
+  mutable top_tech : string option;
+  mutable bottom_tech : string option;
+  mutable term_size : int option;
+  mutable term_spacing : int option;
+  mutable insts : raw_inst list;  (* reversed *)
+  mutable nets : (string * string list) list;  (* reversed; pins reversed *)
+  mutable cur_net : (string * int * string list) option;
+  mutable places : (string, int * int * float) Hashtbl.t;
+  mutable fixed : (string * string * int * int * int) list;  (* reversed *)
+}
+
+let fresh_state () =
+  {
+    techs = Hashtbl.create 4;
+    cur_tech = None;
+    die_size = None;
+    top_util = 100.;
+    bottom_util = 100.;
+    top_rows = None;
+    bottom_rows = None;
+    top_tech = None;
+    bottom_tech = None;
+    term_size = None;
+    term_spacing = None;
+    insts = [];
+    nets = [];
+    cur_net = None;
+    places = Hashtbl.create 64;
+    fixed = [];
+  }
+
+let flush_net st =
+  match st.cur_net with
+  | Some (name, expected, pins) ->
+    if List.length pins <> expected then
+      fail "net %s: expected %d pins, found %d" name expected (List.length pins);
+    st.nets <- (name, List.rev pins) :: st.nets;
+    st.cur_net <- None
+  | None -> ()
+
+let die_of_word ~line = function
+  | "Top" | "top" -> 1
+  | "Bottom" | "bottom" -> 0
+  | w -> fail "line %d: expected Top or Bottom, got %S" line w
+
+let handle st line words =
+  match words with
+  | [ "NumTechnologies"; _ ] | [ "NumInstances"; _ ] | [ "NumNets"; _ ] -> ()
+  | [ "Tech"; name; _count ] ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.replace st.techs name tbl;
+    st.cur_tech <- Some tbl
+  | [ "LibCell"; name; sx; sy ] ->
+    (match st.cur_tech with
+    | Some tbl -> Hashtbl.replace tbl name (int_of ~line sx, int_of ~line sy)
+    | None -> fail "line %d: LibCell outside a Tech section" line)
+  | [ "DieSize"; lx; ly; ux; uy ] ->
+    st.die_size <-
+      Some (int_of ~line lx, int_of ~line ly, int_of ~line ux, int_of ~line uy)
+  | [ "TopDieMaxUtil"; p ] -> st.top_util <- float_of ~line p
+  | [ "BottomDieMaxUtil"; p ] -> st.bottom_util <- float_of ~line p
+  | [ "TopDieRows"; x; y; len; h; n ] ->
+    st.top_rows <-
+      Some (int_of ~line x, int_of ~line y, int_of ~line len, int_of ~line h, int_of ~line n)
+  | [ "BottomDieRows"; x; y; len; h; n ] ->
+    st.bottom_rows <-
+      Some (int_of ~line x, int_of ~line y, int_of ~line len, int_of ~line h, int_of ~line n)
+  | [ "TopDieTech"; t ] -> st.top_tech <- Some t
+  | [ "BottomDieTech"; t ] -> st.bottom_tech <- Some t
+  | [ "TerminalSize"; sx; _sy ] -> st.term_size <- Some (int_of ~line sx)
+  | [ "TerminalSpacing"; s ] -> st.term_spacing <- Some (int_of ~line s)
+  | [ "Inst"; name; lib ] -> st.insts <- { ri_name = name; ri_lib = lib } :: st.insts
+  | [ "Net"; name; npins ] ->
+    flush_net st;
+    st.cur_net <- Some (name, int_of ~line npins, [])
+  | [ "Pin"; pin ] ->
+    (match st.cur_net with
+    | Some (name, expected, pins) ->
+      let inst =
+        match String.index_opt pin '/' with
+        | Some i -> String.sub pin 0 i
+        | None -> pin
+      in
+      st.cur_net <- Some (name, expected, inst :: pins)
+    | None -> fail "line %d: Pin outside a Net section" line)
+  | [ "Place"; inst; x; y; z ] ->
+    Hashtbl.replace st.places inst (int_of ~line x, int_of ~line y, float_of ~line z)
+  | [ "FixedInst"; name; lib; die; x; y ] ->
+    st.fixed <-
+      (name, lib, die_of_word ~line die, int_of ~line x, int_of ~line y) :: st.fixed
+  | kw :: _ -> fail "line %d: unrecognized record %S" line kw
+  | [] -> ()
+
+let tokenize text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> (i + 1, l))
+  |> List.filter_map (fun (i, l) ->
+         let l =
+           match String.index_opt l '#' with
+           | Some j -> String.sub l 0 j
+           | None -> l
+         in
+         let ws =
+           String.split_on_char ' ' l
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (( <> ) "")
+         in
+         if ws = [] then None else Some (i, ws))
+
+let build st =
+  let lx, ly, ux, uy =
+    match st.die_size with Some d -> d | None -> fail "missing DieSize"
+  in
+  let outline = Rect.make ~x:lx ~y:ly ~w:(ux - lx) ~h:(uy - ly) in
+  let row_height which = function
+    | Some (_, _, _, h, _) -> h
+    | None -> fail "missing %sDieRows" which
+  in
+  let h_bottom = row_height "Bottom" st.bottom_rows in
+  let h_top = row_height "Top" st.top_rows in
+  let tech_of which = function
+    | Some t ->
+      (try Hashtbl.find st.techs t
+       with Not_found -> fail "unknown tech %s for the %s die" t which)
+    | None -> fail "missing %sDieTech" which
+  in
+  let bottom_lib = tech_of "bottom" st.bottom_tech in
+  let top_lib = tech_of "top" st.top_tech in
+  let dies =
+    [|
+      Die.make ~index:0 ~outline ~row_height:h_bottom
+        ~max_util:(Float.min 1.0 (st.bottom_util /. 100.)) ();
+      Die.make ~index:1 ~outline ~row_height:h_top
+        ~max_util:(Float.min 1.0 (st.top_util /. 100.)) ();
+    |]
+  in
+  let lib_dims which tbl lib h_r =
+    match Hashtbl.find_opt tbl lib with
+    | Some (w, h) ->
+      if h <> h_r then
+        fail "libcell %s height %d does not match the %s die row height %d" lib h
+          which h_r;
+      w
+    | None -> fail "libcell %s not in the %s die tech" lib which
+  in
+  let insts = Array.of_list (List.rev st.insts) in
+  let name_to_id = Hashtbl.create (Array.length insts) in
+  let cells =
+    Array.mapi
+      (fun id inst ->
+        Hashtbl.replace name_to_id inst.ri_name id;
+        let w0 = lib_dims "bottom" bottom_lib inst.ri_lib h_bottom in
+        let w1 = lib_dims "top" top_lib inst.ri_lib h_top in
+        let gp_x, gp_y, gp_z =
+          match Hashtbl.find_opt st.places inst.ri_name with
+          | Some pos -> pos
+          | None -> (lx + ((ux - lx) / 2), ly + ((uy - ly) / 2), 0.5)
+        in
+        Cell.make ~id ~name:inst.ri_name ~widths:[| w0; w1 |] ~gp_x ~gp_y ~gp_z ())
+      insts
+  in
+  let macros =
+    List.rev st.fixed
+    |> List.mapi (fun id (name, lib, die, x, y) ->
+           let tbl = if die = 0 then bottom_lib else top_lib in
+           match Hashtbl.find_opt tbl lib with
+           | Some (w, h) ->
+             Blockage.make ~id ~name ~die ~rect:(Rect.make ~x ~y ~w ~h) ()
+           | None -> fail "fixed inst %s: libcell %s not in its die tech" name lib)
+    |> Array.of_list
+  in
+  let nets =
+    List.rev st.nets
+    |> List.mapi (fun id (name, pins) ->
+           let pins =
+             pins
+             |> List.map (fun inst ->
+                    match Hashtbl.find_opt name_to_id inst with
+                    | Some i -> i
+                    | None -> fail "net %s references unknown instance %s" name inst)
+             |> Array.of_list
+           in
+           Net.make ~id ~name ~pins ())
+    |> Array.of_list
+  in
+  let design = Design.make ~name:"contest" ~dies ~cells ~macros ~nets () in
+  let terminal =
+    match (st.term_size, st.term_spacing) with
+    | Some t_size, Some t_spacing -> Some { t_size; t_spacing }
+    | Some t_size, None -> Some { t_size; t_spacing = 0 }
+    | None, _ -> None
+  in
+  (design, terminal)
+
+let read text =
+  try
+    let st = fresh_state () in
+    List.iter (fun (line, words) -> handle st line words) (tokenize text);
+    flush_net st;
+    let design, terminal = build st in
+    match Design.validate design with
+    | Ok () -> Ok (design, terminal)
+    | Error (e :: _) -> Error e
+    | Error [] -> Ok (design, terminal)
+  with
+  | Parse msg -> Error msg
+  | Assert_failure _ -> Error "invalid field value (assertion)"
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write ?terminal fmt (d : Design.t) =
+  if Design.n_dies d <> 2 then
+    invalid_arg "Contest.write: the contest dialect describes two-die designs";
+  let bottom = Design.die d 0 and top = Design.die d 1 in
+  (* one libcell per distinct (w0, w1) pair, named C<w0>_<w1> *)
+  let pairs = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Cell.t) ->
+      Hashtbl.replace pairs (c.Cell.widths.(0), c.Cell.widths.(1)) ())
+    d.Design.cells;
+  let pair_list = Hashtbl.fold (fun k () acc -> k :: acc) pairs [] |> List.sort compare in
+  let lib_name (w0, w1) = Printf.sprintf "C%d_%d" w0 w1 in
+  let macro_name i = Printf.sprintf "MacroLib%d" i in
+  Format.fprintf fmt "NumTechnologies 2@.";
+  let emit_tech name die_idx h_r =
+    let n_lib = List.length pair_list + Array.length d.Design.macros in
+    Format.fprintf fmt "Tech %s %d@." name n_lib;
+    List.iter
+      (fun (w0, w1) ->
+        let w = if die_idx = 0 then w0 else w1 in
+        Format.fprintf fmt "LibCell %s %d %d@." (lib_name (w0, w1)) w h_r)
+      pair_list;
+    Array.iteri
+      (fun i (m : Blockage.t) ->
+        Format.fprintf fmt "LibCell %s %d %d@." (macro_name i) m.Blockage.rect.Rect.w
+          m.Blockage.rect.Rect.h)
+      d.Design.macros
+  in
+  emit_tech "BottomTech" 0 bottom.Die.row_height;
+  emit_tech "TopTech" 1 top.Die.row_height;
+  let o = bottom.Die.outline in
+  Format.fprintf fmt "DieSize %d %d %d %d@." o.Rect.x o.Rect.y (o.Rect.x + o.Rect.w)
+    (o.Rect.y + o.Rect.h);
+  Format.fprintf fmt "TopDieMaxUtil %.0f@." (top.Die.max_util *. 100.);
+  Format.fprintf fmt "BottomDieMaxUtil %.0f@." (bottom.Die.max_util *. 100.);
+  Format.fprintf fmt "BottomDieRows %d %d %d %d %d@." o.Rect.x o.Rect.y o.Rect.w
+    bottom.Die.row_height (Die.num_rows bottom);
+  Format.fprintf fmt "TopDieRows %d %d %d %d %d@." o.Rect.x o.Rect.y o.Rect.w
+    top.Die.row_height (Die.num_rows top);
+  Format.fprintf fmt "BottomDieTech BottomTech@.";
+  Format.fprintf fmt "TopDieTech TopTech@.";
+  (match terminal with
+  | Some t ->
+    Format.fprintf fmt "TerminalSize %d %d@." t.t_size t.t_size;
+    Format.fprintf fmt "TerminalSpacing %d@." t.t_spacing
+  | None -> ());
+  Format.fprintf fmt "NumInstances %d@." (Design.n_cells d);
+  Array.iter
+    (fun (c : Cell.t) ->
+      Format.fprintf fmt "Inst %s %s@." c.Cell.name
+        (lib_name (c.Cell.widths.(0), c.Cell.widths.(1))))
+    d.Design.cells;
+  Format.fprintf fmt "NumNets %d@." (Array.length d.Design.nets);
+  Array.iter
+    (fun (n : Net.t) ->
+      Format.fprintf fmt "Net %s %d@." n.Net.name (Array.length n.Net.pins);
+      Array.iteri
+        (fun i pin ->
+          Format.fprintf fmt "Pin %s/P%d@." (Design.cell d pin).Cell.name i)
+        n.Net.pins)
+    d.Design.nets;
+  Array.iter
+    (fun (c : Cell.t) ->
+      Format.fprintf fmt "Place %s %d %d %.6f@." c.Cell.name c.Cell.gp_x c.Cell.gp_y
+        c.Cell.gp_z)
+    d.Design.cells;
+  Array.iteri
+    (fun i (m : Blockage.t) ->
+      Format.fprintf fmt "FixedInst %s %s %s %d %d@." m.Blockage.name (macro_name i)
+        (if m.Blockage.die = 1 then "Top" else "Bottom")
+        m.Blockage.rect.Rect.x m.Blockage.rect.Rect.y)
+    d.Design.macros
+
+let to_string ?terminal d = Format.asprintf "%a" (fun fmt -> write ?terminal fmt) d
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  read s
+
+let save ?terminal path d =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  write ?terminal fmt d;
+  Format.pp_print_flush fmt ();
+  close_out oc

@@ -1,0 +1,69 @@
+module Rect = Tdf_geometry.Rect
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Blockage = Tdf_netlist.Blockage
+module Design = Tdf_netlist.Design
+module Placement = Tdf_netlist.Placement
+
+let render_die design p ~die ?(title = "") () =
+  let d = Design.die design die in
+  let o = d.Die.outline in
+  let margin = 12. in
+  let view = 960. in
+  let scale = view /. float_of_int (max o.Rect.w o.Rect.h) in
+  let px x = margin +. (float_of_int (x - o.Rect.x) *. scale) in
+  (* SVG y grows downward; flip so row 0 is at the bottom as in the paper. *)
+  let py y = margin +. ((float_of_int o.Rect.h -. float_of_int (y - o.Rect.y)) *. scale) in
+  let buf = Buffer.create 65536 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let width = (2. *. margin) +. (float_of_int o.Rect.w *. scale) in
+  let height = (2. *. margin) +. (float_of_int o.Rect.h *. scale) +. 20. in
+  out "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n"
+    width height width height;
+  out "<rect x=\"%f\" y=\"%f\" width=\"%f\" height=\"%f\" fill=\"white\" stroke=\"black\" stroke-width=\"1\"/>\n"
+    (px o.Rect.x) (py (o.Rect.y + o.Rect.h))
+    (float_of_int o.Rect.w *. scale)
+    (float_of_int o.Rect.h *. scale);
+  if title <> "" then
+    out "<text x=\"%f\" y=\"%f\" font-size=\"14\" font-family=\"sans-serif\">%s</text>\n"
+      margin (height -. 6.) title;
+  Array.iter
+    (fun (m : Blockage.t) ->
+      if m.Blockage.die = die then begin
+        let r = m.Blockage.rect in
+        out "<rect x=\"%f\" y=\"%f\" width=\"%f\" height=\"%f\" fill=\"#bbbbbb\" stroke=\"#888888\"/>\n"
+          (px r.Rect.x)
+          (py (r.Rect.y + r.Rect.h))
+          (float_of_int r.Rect.w *. scale)
+          (float_of_int r.Rect.h *. scale)
+      end)
+    design.Design.macros;
+  let nd = Design.n_dies design in
+  for c = 0 to Placement.n_cells p - 1 do
+    if p.Placement.die.(c) = die then begin
+      let cell = Design.cell design c in
+      let w = Cell.width_on cell die in
+      let h = d.Die.row_height in
+      let from_other = Cell.nearest_die cell ~n_dies:nd <> die in
+      let fill = if from_other then "#3b6fd4" else "#e8a0a0" in
+      (* displacement line first, so cells draw on top *)
+      out "<line x1=\"%f\" y1=\"%f\" x2=\"%f\" y2=\"%f\" stroke=\"black\" stroke-width=\"0.6\" opacity=\"0.7\"/>\n"
+        (px (cell.Cell.gp_x + (w / 2)))
+        (py (cell.Cell.gp_y + (h / 2)))
+        (px (p.Placement.x.(c) + (w / 2)))
+        (py (p.Placement.y.(c) + (h / 2)));
+      out "<rect x=\"%f\" y=\"%f\" width=\"%f\" height=\"%f\" fill=\"%s\" stroke=\"#333333\" stroke-width=\"0.3\" opacity=\"0.9\"/>\n"
+        (px p.Placement.x.(c))
+        (py (p.Placement.y.(c) + h))
+        (float_of_int w *. scale)
+        (float_of_int h *. scale)
+        fill
+    end
+  done;
+  out "</svg>\n";
+  Buffer.contents buf
+
+let save_die path design p ~die ?title () =
+  let oc = open_out path in
+  output_string oc (render_die design p ~die ?title ());
+  close_out oc

@@ -1,0 +1,24 @@
+(** SVG rendering of one die of a placement — the Fig. 8 visualization.
+
+    Macros are drawn gray, cells as outlined boxes, and a line connects
+    each cell to its initial (global-placement) position; cells that
+    arrived from another die are highlighted (the paper's blue cells). *)
+
+val render_die :
+  Tdf_netlist.Design.t ->
+  Tdf_netlist.Placement.t ->
+  die:int ->
+  ?title:string ->
+  unit ->
+  string
+(** SVG document as a string. *)
+
+val save_die :
+  string ->
+  Tdf_netlist.Design.t ->
+  Tdf_netlist.Placement.t ->
+  die:int ->
+  ?title:string ->
+  unit ->
+  unit
+(** Write the SVG to a file. *)

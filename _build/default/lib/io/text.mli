@@ -1,0 +1,33 @@
+(** Plain-text serialization of designs and placements.
+
+    A simple line-oriented format (one record per line, `#` comments) so
+    generated benchmarks and legalization results can be saved, diffed and
+    reloaded; see the format grammar in the implementation header.  Round-
+    tripping is exact. *)
+
+val write_design : Format.formatter -> Tdf_netlist.Design.t -> unit
+
+val design_to_string : Tdf_netlist.Design.t -> string
+
+val read_design : string -> (Tdf_netlist.Design.t, string) result
+(** Parse a design from the textual form; [Error msg] on malformed input. *)
+
+val write_placement :
+  Format.formatter -> Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> unit
+
+val placement_to_string :
+  Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> string
+
+val read_placement :
+  Tdf_netlist.Design.t -> string -> (Tdf_netlist.Placement.t, string) result
+
+val save_design : string -> Tdf_netlist.Design.t -> unit
+(** Write to a file path. *)
+
+val load_design : string -> (Tdf_netlist.Design.t, string) result
+
+val save_placement :
+  string -> Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> unit
+
+val load_placement :
+  string -> Tdf_netlist.Design.t -> (Tdf_netlist.Placement.t, string) result

@@ -1,0 +1,1 @@
+lib/legalizer/augment.ml: Array Config Float Grid Select Tdf_netlist Tdf_util

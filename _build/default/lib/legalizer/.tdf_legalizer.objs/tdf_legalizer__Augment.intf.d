@@ -1,0 +1,1 @@
+lib/legalizer/augment.mli: Config Grid

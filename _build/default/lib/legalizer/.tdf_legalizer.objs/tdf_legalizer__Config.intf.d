@@ -1,0 +1,1 @@
+lib/legalizer/config.mli:

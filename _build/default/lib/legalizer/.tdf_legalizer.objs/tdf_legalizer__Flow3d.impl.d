@@ -1,0 +1,1 @@
+lib/legalizer/flow3d.ml: Array Augment Config Float Grid Hashtbl List Mover Place_row Post_opt Relief Tdf_geometry Tdf_netlist Tdf_util

@@ -1,0 +1,1 @@
+lib/legalizer/flow3d.mli: Config Tdf_netlist

@@ -1,0 +1,1 @@
+lib/legalizer/grid.ml: Tdf_grid

@@ -1,0 +1,1 @@
+lib/legalizer/mover.ml: Array Augment Float Grid List Select

@@ -1,0 +1,1 @@
+lib/legalizer/mover.mli: Augment Config Grid

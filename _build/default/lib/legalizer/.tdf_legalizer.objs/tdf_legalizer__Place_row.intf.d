@@ -1,0 +1,1 @@
+lib/legalizer/place_row.mli:

@@ -1,0 +1,1 @@
+lib/legalizer/post_opt.ml: Array Tdf_netlist

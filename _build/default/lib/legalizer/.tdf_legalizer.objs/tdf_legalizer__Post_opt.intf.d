@@ -1,0 +1,1 @@
+lib/legalizer/post_opt.mli: Tdf_netlist

@@ -1,0 +1,1 @@
+lib/legalizer/relief.ml: Array Config Grid List Tdf_netlist

@@ -1,0 +1,1 @@
+lib/legalizer/relief.mli: Config Grid

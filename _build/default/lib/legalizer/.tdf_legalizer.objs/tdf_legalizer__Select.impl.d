@@ -1,0 +1,1 @@
+lib/legalizer/select.ml: Array Config Float Grid List Tdf_netlist

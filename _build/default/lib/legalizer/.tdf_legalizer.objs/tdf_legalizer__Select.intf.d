@@ -1,0 +1,1 @@
+lib/legalizer/select.mli: Config Grid

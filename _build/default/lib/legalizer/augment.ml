@@ -1,0 +1,139 @@
+module Heap = Tdf_util.Heap
+
+type node = { pn_bin : int; pn_flow_in : float; pn_need_out : float }
+
+type path = node list
+
+type state = {
+  cost : float array;
+  flow : float array;
+  parent : int array;
+  visited : int array;  (* epoch stamp *)
+  cd_cache : int array;  (* memoized cur_disp per cell *)
+  cd_epoch : int array;
+  mutable epoch : int;
+  mutable pops : int;
+}
+
+let create_state grid =
+  let n = Grid.n_bins grid in
+  let nc = Tdf_netlist.Design.n_cells grid.Grid.design in
+  {
+    cost = Array.make n 0.;
+    flow = Array.make n 0.;
+    parent = Array.make n (-1);
+    visited = Array.make n 0;
+    cd_cache = Array.make nc 0;
+    cd_epoch = Array.make nc 0;
+    epoch = 0;
+    pops = 0;
+  }
+
+(* The grid does not mutate during a search, so D_c(u) is memoized per
+   search epoch — it is evaluated for the same cell once per incident edge
+   otherwise, which dominated the profile. *)
+let cached_cur_disp grid st cell =
+  if st.cd_epoch.(cell) = st.epoch then st.cd_cache.(cell)
+  else begin
+    let d = Select.cur_disp grid cell in
+    st.cd_cache.(cell) <- d;
+    st.cd_epoch.(cell) <- st.epoch;
+    d
+  end
+
+let expansions st = st.pops
+
+(* Pruning bound of Alg. 1 line 13.  The paper writes (1 + α)·cost(p_best);
+   because iterative re-legalization makes costs near zero or negative, we
+   use the equivalent additive form best + α·(|best| + h_r) so the slack
+   never collapses to nothing. *)
+let bound cfg grid src best =
+  if cfg.Config.exhaustive || best = infinity then infinity
+  else begin
+    let h_r =
+      (Tdf_netlist.Design.die grid.Grid.design src.Grid.die)
+        .Tdf_netlist.Die.row_height
+    in
+    best +. (cfg.Config.alpha *. (Float.abs best +. float_of_int h_r))
+  end
+
+let search cfg grid st ~src =
+  st.epoch <- st.epoch + 1;
+  st.pops <- 0;
+  let epoch = st.epoch in
+  (* One augmentation pushes at most cap(s): a single path can only relay
+     what the bins along it can absorb or already hold, so large supplies
+     are shed in successive chunks (Alg. 2 re-queues the bin while
+     overflowed). *)
+  let sup = Float.min (Grid.supply src) (float_of_int (Grid.cap src)) in
+  if sup <= 0. then None
+  else begin
+    let q = Heap.create () in
+    st.cost.(src.Grid.id) <- 0.;
+    st.flow.(src.Grid.id) <- sup;
+    st.parent.(src.Grid.id) <- -1;
+    st.visited.(src.Grid.id) <- epoch;
+    Heap.add q ~key:0. src.Grid.id;
+    let best_cost = ref infinity and best_leaf = ref (-1) in
+    let rec loop () =
+      match Heap.pop q with
+      | None -> ()
+      | Some (cost_u, uid) ->
+        st.pops <- st.pops + 1;
+        let u = grid.Grid.bins.(uid) in
+        if cost_u <= bound cfg grid src !best_cost then begin
+          let need = st.flow.(uid) -. Grid.demand u in
+          if need > 1e-9 then
+            Array.iter
+              (fun (e : Grid.edge) ->
+                let allowed =
+                  match e.Grid.kind with
+                  | Grid.D2d -> cfg.Config.d2d_edges
+                  | Grid.Horizontal | Grid.Vertical -> true
+                in
+                if allowed && st.visited.(e.Grid.dst) <> epoch then begin
+                  let v = grid.Grid.bins.(e.Grid.dst) in
+                  match
+                    Select.select ~cur:(cached_cur_disp grid st) cfg grid ~src:u
+                      ~dst:v ~kind:e.Grid.kind ~need
+                  with
+                  | None -> ()
+                  | Some sel ->
+                    let vid = v.Grid.id in
+                    st.visited.(vid) <- epoch;
+                    st.flow.(vid) <- sel.Select.inflow;
+                    st.cost.(vid) <- cost_u +. sel.Select.sel_cost;
+                    st.parent.(vid) <- uid;
+                    if st.cost.(vid) < bound cfg grid src !best_cost then begin
+                      if sel.Select.inflow <= Grid.demand v +. 1e-9 then begin
+                        (* candidate path (line 14) *)
+                        if st.cost.(vid) < !best_cost then begin
+                          best_cost := st.cost.(vid);
+                          best_leaf := vid
+                        end
+                      end
+                      else Heap.add q ~key:st.cost.(vid) vid
+                    end
+                end)
+              grid.Grid.edges.(uid)
+        end;
+        loop ()
+    in
+    loop ();
+    if !best_leaf < 0 then None
+    else begin
+      (* Walk parents leaf → root, then reverse. *)
+      let rec walk vid acc =
+        let b = grid.Grid.bins.(vid) in
+        let n =
+          {
+            pn_bin = vid;
+            pn_flow_in = st.flow.(vid);
+            pn_need_out = Float.max 0. (st.flow.(vid) -. Grid.demand b);
+          }
+        in
+        if st.parent.(vid) < 0 then n :: acc else walk st.parent.(vid) (n :: acc)
+      in
+      Some (walk !best_leaf [])
+    end
+  end

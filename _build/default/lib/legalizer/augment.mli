@@ -1,0 +1,33 @@
+(** Algorithm 1: shortest augmenting path with branch and bound.
+
+    A best-first search over the 3D grid graph rooted at an overflowed bin.
+    Each bin is visited at most once (line 7), so the traversal forms an
+    n-ary search tree; bins are expanded in increasing path cost (line 5);
+    branches costlier than [(1 + α)·cost(p_best)] are pruned (line 13).  A
+    bin whose incoming flow fits its demand is a candidate leaf (line 14).
+
+    The per-bin label arrays are allocated once and reused across searches
+    via epoch stamps. *)
+
+type node = {
+  pn_bin : int;  (** bin id on the path *)
+  pn_flow_in : float;  (** flow(v): width moved into this bin *)
+  pn_need_out : float;  (** flow(v) − dem(v): width that must leave it *)
+}
+
+type path = node list
+(** Root (the supply bin) first, candidate leaf last. *)
+
+type state
+(** Reusable search labels. *)
+
+val create_state : Grid.t -> state
+
+val search : Config.t -> Grid.t -> state -> src:Grid.bin -> path option
+(** [search cfg grid st ~src] finds the cheapest augmenting path resolving
+    the overflow of [src], or [None] when no reachable bin chain can absorb
+    it.  [cfg.exhaustive] disables pruning and explores the whole reachable
+    graph (vanilla Dijkstra SSP, the BonnPlaceLegal behaviour). *)
+
+val expansions : state -> int
+(** Number of queue pops performed by the last search (profiling hook). *)

@@ -1,0 +1,239 @@
+module Heap = Tdf_util.Heap
+module Design = Tdf_netlist.Design
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Placement = Tdf_netlist.Placement
+
+type stats = {
+  augmentations : int;
+  expansions : int;
+  d2d_cells : int;
+  failed_supplies : int;
+  reliefs : int;
+  residual_overflow : float;
+  post_opt_rounds : int;
+}
+
+type result = { placement : Placement.t; stats : stats }
+
+let flow_bin_width design ~factor =
+  let n = Design.n_cells design in
+  if n = 0 then 1
+  else begin
+    let nd = Design.n_dies design in
+    let sum =
+      Array.fold_left
+        (fun acc c -> acc + Cell.width_on c (Cell.nearest_die c ~n_dies:nd))
+        0 design.Design.cells
+    in
+    let avg = float_of_int sum /. float_of_int n in
+    max 1 (int_of_float (Float.round (factor *. avg)))
+  end
+
+let eps = 1e-6
+
+(* Alg. 2 lines 4-10: resolve supply bins in descending supply order. *)
+let flow_pass cfg grid =
+  let state = Augment.create_state grid in
+  let q = Heap.create () in
+  let retries = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Grid.bin) -> Heap.add q ~key:(-.Grid.supply b) b.Grid.id)
+    (Grid.overflowed_bins grid);
+  let augmentations = ref 0 and expansions = ref 0 and failed = ref 0 in
+  let reliefs = ref 0 in
+  let relief_budget = 8 * Grid.n_bins grid in
+  let rec loop () =
+    match Heap.pop q with
+    | None -> ()
+    | Some (key, bid) ->
+      let b = grid.Grid.bins.(bid) in
+      let sup = Grid.supply b in
+      if sup <= eps then loop ()
+      else if Float.abs (sup +. key) > eps then begin
+        (* stale priority: reinsert with the current supply *)
+        Heap.add q ~key:(-.sup) bid;
+        loop ()
+      end
+      else begin
+        let requeue_or_fail sup' =
+          let r = try Hashtbl.find retries bid with Not_found -> 0 in
+          if sup' < sup -. eps then begin
+            (* progress: keep going *)
+            Hashtbl.replace retries bid 0;
+            Heap.add q ~key:(-.sup') bid
+          end
+          else if r + 1 <= cfg.Config.max_retries then begin
+            (* No progress; other augmentations may free space — retry. *)
+            Hashtbl.replace retries bid (r + 1);
+            Heap.add q ~key:(-.sup') bid
+          end
+          else incr failed
+        in
+        (match Augment.search cfg grid state ~src:b with
+        | None ->
+          expansions := !expansions + Augment.expansions state;
+          if !reliefs < relief_budget && Relief.relieve cfg grid ~src:b then begin
+            incr reliefs;
+            let sup' = Grid.supply b in
+            if sup' > eps then Heap.add q ~key:(-.sup') bid
+          end
+          else requeue_or_fail (Grid.supply b)
+        | Some path ->
+          incr augmentations;
+          expansions := !expansions + Augment.expansions state;
+          let _ = Mover.realize cfg grid path in
+          let sup' = Grid.supply b in
+          if sup' > eps then requeue_or_fail sup');
+        loop ()
+      end
+  in
+  loop ();
+  (!augmentations, !expansions, !failed, !reliefs)
+
+(* §III-D: Abacus PlaceRow on every segment; writes final positions. *)
+let finalize grid (p : Placement.t) =
+  let design = grid.Grid.design in
+  Array.iter
+    (fun (s : Grid.segment) ->
+      match Grid.cells_of_segment grid s.Grid.sid with
+      | [] -> ()
+      | cells ->
+        let die = Design.die design s.Grid.s_die in
+        let inputs =
+          cells
+          |> List.map (fun c ->
+                 let cell = Design.cell design c in
+                 (c, cell.Cell.gp_x, Cell.width_on cell s.Grid.s_die))
+          |> Array.of_list
+        in
+        let weight c = (Design.cell design c).Cell.weight in
+        let placed =
+          Place_row.place_segment ~weight ~site:die.Die.site_width
+            ~anchor:die.Die.outline.Tdf_geometry.Rect.x ~lo:s.Grid.s_lo
+            ~hi:s.Grid.s_hi inputs
+        in
+        let y = Die.row_y die s.Grid.s_row in
+        List.iter
+          (fun (pl : Place_row.placed) ->
+            p.Placement.x.(pl.Place_row.pl_cell) <- pl.Place_row.pl_x;
+            p.Placement.y.(pl.Place_row.pl_cell) <- y;
+            p.Placement.die.(pl.Place_row.pl_cell) <- s.Grid.s_die)
+          placed)
+    grid.Grid.segments
+
+(* Normalized displacement metrics (the paper's Tables are row-height
+   normalized, so post-opt acceptance must be too: a raw improvement on a
+   tall-row die can be a normalized regression). *)
+let norm_disp design p c =
+  let h_r = (Design.die design p.Placement.die.(c)).Die.row_height in
+  float_of_int (Placement.displacement design p c) /. float_of_int h_r
+
+let avg_disp design p =
+  let n = Placement.n_cells p in
+  if n = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    for c = 0 to n - 1 do
+      sum := !sum +. norm_disp design p c
+    done;
+    !sum /. float_of_int n
+  end
+
+let max_disp design p =
+  let n = Placement.n_cells p in
+  let m = ref 0. in
+  for c = 0 to n - 1 do
+    let d = norm_disp design p c in
+    if d > !m then m := d
+  done;
+  !m
+
+let one_pass cfg design ~bin_factor (start : Placement.t) (targets : (int * int * int) array option) =
+  let bw = flow_bin_width design ~factor:bin_factor in
+  let grid = Grid.build design ~bin_width:bw in
+  (match targets with
+  | None -> Grid.assign_initial grid start
+  | Some tgts ->
+    Array.iteri (fun cell (x, y, die) -> Grid.place_cell grid ~cell ~die ~x ~y) tgts);
+  let augmentations, expansions, failed, reliefs = flow_pass cfg grid in
+  let p = Placement.copy start in
+  finalize grid p;
+  (p, augmentations, expansions, failed, reliefs, Grid.total_overflow grid)
+
+let count_d2d design (p : Placement.t) =
+  let nd = Design.n_dies design in
+  let n = Placement.n_cells p in
+  let count = ref 0 in
+  for c = 0 to n - 1 do
+    let initial = Cell.nearest_die (Design.cell design c) ~n_dies:nd in
+    if p.Placement.die.(c) <> initial then incr count
+  done;
+  !count
+
+let legalize_from ?(cfg = Config.default) design start =
+  let p, aug, exp_, failed, reliefs, residual =
+    one_pass cfg design ~bin_factor:cfg.Config.bin_width_factor start None
+  in
+  let p = ref p in
+  let aug = ref aug and exp_ = ref exp_ and failed = ref failed in
+  let reliefs = ref reliefs in
+  let residual = ref residual in
+  let rounds = ref 0 in
+  if cfg.Config.post_opt then begin
+    let continue = ref true and pass = ref 0 in
+    while !continue && !pass < cfg.Config.post_opt_passes do
+      incr pass;
+      match Post_opt.select_victims design !p with
+      | [] -> continue := false
+      | victims ->
+        let is_victim = Array.make (Placement.n_cells !p) false in
+        List.iter (fun c -> is_victim.(c) <- true) victims;
+        let targets =
+          Array.init (Placement.n_cells !p) (fun c ->
+              if is_victim.(c) then begin
+                let x, y = Post_opt.midpoint_target design !p c in
+                (x, y, !p.Placement.die.(c))
+              end
+              else ((!p).Placement.x.(c), (!p).Placement.y.(c), (!p).Placement.die.(c)))
+        in
+        let p', aug', exp', failed', reliefs', residual' =
+          one_pass cfg design ~bin_factor:cfg.Config.post_bin_width_factor !p
+            (Some targets)
+        in
+        aug := !aug + aug';
+        exp_ := !exp_ + exp';
+        reliefs := !reliefs + reliefs';
+        let old_max = max_disp design !p in
+        let new_max = max_disp design p' in
+        let improved =
+          residual' <= eps
+          && (new_max < old_max -. 1e-9
+             || (Float.abs (new_max -. old_max) <= 1e-9
+                && avg_disp design p' <= avg_disp design !p))
+        in
+        if improved then begin
+          p := p';
+          failed := !failed + failed';
+          residual := residual';
+          incr rounds
+        end
+        else continue := false
+    done
+  end;
+  {
+    placement = !p;
+    stats =
+      {
+        augmentations = !aug;
+        expansions = !exp_;
+        d2d_cells = count_d2d design !p;
+        failed_supplies = !failed;
+        reliefs = !reliefs;
+        residual_overflow = !residual;
+        post_opt_rounds = !rounds;
+      };
+  }
+
+let legalize ?(cfg = Config.default) design =
+  legalize_from ~cfg design (Placement.initial design)

@@ -1,0 +1,40 @@
+(** The 3D-Flow legalizer (Algorithm 2).
+
+    Pipeline: build the bin grid and 3D grid graph; assign cells to nearest
+    bins; resolve overflowed bins in descending supply order by augmenting
+    flow along the cheapest path (Alg. 1); legalize each row segment with
+    Abacus PlaceRow; then run the cycle-canceling post-optimization on a
+    finer grid.
+
+    The Bonn baseline and the w/o-D2D ablation run through the same entry
+    point with their {!Config} presets. *)
+
+type stats = {
+  augmentations : int;  (** augmenting paths realized *)
+  expansions : int;  (** total priority-queue pops across searches *)
+  d2d_cells : int;  (** cells whose final die differs from the nearest-die
+                        assignment of the global placement (#Move, Table V) *)
+  failed_supplies : int;  (** supply bins given up on *)
+  reliefs : int;  (** direct-relocation fallbacks taken on search dead-ends *)
+  residual_overflow : float;  (** Σ sup(v) left after the flow phase *)
+  post_opt_rounds : int;  (** accepted post-optimization rounds *)
+}
+
+type result = {
+  placement : Tdf_netlist.Placement.t;
+  stats : stats;
+}
+
+val legalize : ?cfg:Config.t -> Tdf_netlist.Design.t -> result
+(** Legalize from the design's global placement (nearest-die initial
+    assignment). *)
+
+val legalize_from :
+  ?cfg:Config.t -> Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> result
+(** Legalize from an arbitrary starting placement — the incremental mode
+    used by the post-optimization itself and by ECO-style flows
+    ([examples/eco_incremental.exe]).  Displacement is still measured
+    against the design's initial positions. *)
+
+val flow_bin_width : Tdf_netlist.Design.t -> factor:float -> int
+(** w_v = factor · w̄_c (§III-F), at least 1. *)

@@ -1,0 +1,3 @@
+(* Local alias so that the legalizer modules (and their interfaces) can
+   refer to the grid substrate as [Grid]. *)
+include Tdf_grid.Grid

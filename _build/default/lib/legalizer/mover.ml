@@ -1,0 +1,42 @@
+let edge_kind _grid ~src ~dst =
+  if src.Grid.seg = dst.Grid.seg then Grid.Horizontal
+  else if src.Grid.die = dst.Grid.die then Grid.Vertical
+  else Grid.D2d
+
+let apply_selection grid ~src ~dst ~kind (sel : Select.selection) =
+  let d2d_moves = ref 0 in
+  List.iter
+    (fun (p : Select.pick) ->
+      match kind with
+      | Grid.Horizontal ->
+        Grid.move_fraction grid ~cell:p.Select.p_cell ~src ~dst ~rho:p.Select.p_rho
+      | Grid.Vertical -> Grid.move_whole grid ~cell:p.Select.p_cell ~dst
+      | Grid.D2d ->
+        incr d2d_moves;
+        Grid.move_whole grid ~cell:p.Select.p_cell ~dst)
+    sel.Select.picks;
+  !d2d_moves
+
+let realize cfg grid path =
+  let nodes = Array.of_list path in
+  let n = Array.length nodes in
+  let d2d_moves = ref 0 in
+  (* Backtrack: move into the leaf first, the root last, so every selection
+     sees the bin contents the search saw (modulo straddling cells). *)
+  for i = n - 1 downto 1 do
+    let u = grid.Grid.bins.(nodes.(i - 1).Augment.pn_bin) in
+    let v = grid.Grid.bins.(nodes.(i).Augment.pn_bin) in
+    let kind = edge_kind grid ~src:u ~dst:v in
+    let need = Float.min nodes.(i - 1).Augment.pn_need_out u.Grid.used in
+    if need > 1e-9 then begin
+      match Select.select cfg grid ~src:u ~dst:v ~kind ~need with
+      | Some sel -> d2d_moves := !d2d_moves + apply_selection grid ~src:u ~dst:v ~kind sel
+      | None ->
+        (* Availability shrank below [need]; shed whatever is left. *)
+        (match Select.select cfg grid ~src:u ~dst:v ~kind ~need:u.Grid.used with
+        | Some sel ->
+          d2d_moves := !d2d_moves + apply_selection grid ~src:u ~dst:v ~kind sel
+        | None -> ())
+    end
+  done;
+  !d2d_moves

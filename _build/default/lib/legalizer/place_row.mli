@@ -1,0 +1,32 @@
+(** Abacus PlaceRow (§III-D, Spindler et al. [4]): given the cells assigned
+    to one row segment, find overlap-free x positions minimizing the
+    width-weighted quadratic movement from desired positions, in linear
+    time via cluster merging.
+
+    Also used standalone by the Abacus baseline legalizer. *)
+
+type placed = { pl_cell : int; pl_x : int }
+
+val place_segment :
+  ?weight:(int -> float) ->
+  site:int ->
+  anchor:int ->
+  lo:int ->
+  hi:int ->
+  (int * int * int) array ->
+  placed list
+(** [place_segment ~site ~anchor ~lo ~hi cells] places [cells] — triples
+    [(cell id, desired x, width)] — inside [\[lo, hi)].  Cluster weights are
+    [width × weight id] ([weight] defaults to 1; timing-critical cells move
+    less).  Legal x positions
+    are congruent to [anchor] modulo [site].  Cells are ordered by desired
+    x (ties by id) and never reordered, as in Abacus.  If the total width
+    exceeds the segment, the excess overlaps at the boundary (the caller's
+    flow legalization prevents this).
+
+    Returns one entry per input cell. *)
+
+val cost :
+  (int * int * int) array -> placed list -> float
+(** Width-weighted quadratic movement Σ w·(x − x')² of a result; used by
+    the Abacus baseline to score trial row insertions. *)

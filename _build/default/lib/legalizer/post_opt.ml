@@ -1,0 +1,27 @@
+module Design = Tdf_netlist.Design
+module Die = Tdf_netlist.Die
+module Placement = Tdf_netlist.Placement
+
+let max_displacement design p =
+  let n = Placement.n_cells p in
+  let m = ref 0 in
+  for c = 0 to n - 1 do
+    m := max !m (Placement.displacement design p c)
+  done;
+  !m
+
+let select_victims design p =
+  let d_max = max_displacement design p in
+  let n = Placement.n_cells p in
+  let victims = ref [] in
+  for c = n - 1 downto 0 do
+    let h_r = (Design.die design p.Placement.die.(c)).Die.row_height in
+    let threshold = max (5 * h_r) (d_max / 2) in
+    if Placement.displacement design p c > threshold then victims := c :: !victims
+  done;
+  !victims
+
+let midpoint_target design p c =
+  let cell = Design.cell design c in
+  ( (p.Placement.x.(c) + cell.Tdf_netlist.Cell.gp_x) / 2,
+    (p.Placement.y.(c) + cell.Tdf_netlist.Cell.gp_y) / 2 )

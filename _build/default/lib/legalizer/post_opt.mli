@@ -1,0 +1,17 @@
+(** Cycle-canceling post-optimization (§III-E).
+
+    Cells whose displacement exceeds [max(5·h_r, D_max/2)] are repositioned
+    at the midpoint between their current and initial positions — creating,
+    in flow terms, a negative cycle toward the initial placement — and the
+    flow legalization is re-run incrementally on a finer grid.  The driver
+    ({!Flow3d}) accepts the round only if the maximum displacement
+    improves. *)
+
+val max_displacement : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> int
+(** Largest Manhattan displacement over all cells (D_max). *)
+
+val select_victims : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> int list
+(** Cells with [D_c > max(5·h_r(die_c), D_max/2)]. *)
+
+val midpoint_target : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> int -> int * int
+(** [(x_c + x'_c)/2, (y_c + y'_c)/2] for a victim cell. *)

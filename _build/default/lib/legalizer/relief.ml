@@ -1,0 +1,41 @@
+module Design = Tdf_netlist.Design
+module Cell = Tdf_netlist.Cell
+
+let util_ok cfg grid (b : Grid.bin) w =
+  let design = grid.Grid.design in
+  ignore cfg;
+  let max_util = (Design.die design b.Grid.die).Tdf_netlist.Die.max_util in
+  grid.Grid.die_cap.(b.Grid.die) <= 0.
+  || (grid.Grid.die_used.(b.Grid.die) +. w) /. grid.Grid.die_cap.(b.Grid.die)
+     <= max_util
+
+let relieve cfg grid ~src =
+  (* Cheapest (cell, destination) pair over src's cells × bins with enough
+     demand.  O(#cells(src) · #bins); only used on search dead-ends. *)
+  let design = grid.Grid.design in
+  let best = ref None in
+  List.iter
+    (fun (f : Grid.frag) ->
+      let c = Design.cell design f.Grid.cell in
+      Array.iter
+        (fun (b : Grid.bin) ->
+          if b.Grid.id <> src.Grid.id then begin
+            let w = float_of_int (Cell.width_on c b.Grid.die) in
+            let die_ok =
+              b.Grid.die = src.Grid.die
+              || (cfg.Config.d2d_edges && util_ok cfg grid b w)
+            in
+            if die_ok && Grid.demand b >= w then begin
+              let cost = Grid.est_disp grid ~cell:f.Grid.cell b in
+              match !best with
+              | Some (bcost, _, _) when bcost <= cost -> ()
+              | _ -> best := Some (cost, f.Grid.cell, b)
+            end
+          end)
+        grid.Grid.bins)
+    src.Grid.frags;
+  match !best with
+  | Some (_, cell, b) ->
+    Grid.move_whole grid ~cell ~dst:b;
+    true
+  | None -> false

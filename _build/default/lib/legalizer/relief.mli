@@ -1,0 +1,15 @@
+(** Fallback for supply bins whose augmenting-path search dead-ends.
+
+    In extreme hot spots the whole-cell flow granularity can leave a bin
+    with no realizable path (every branch needs to relay more width than
+    intermediate bins hold).  [relieve] then relocates one cell directly to
+    the cheapest bin with enough free capacity — guaranteed progress that
+    keeps the driver's overflow strictly decreasing, at locally greedy
+    (Tetris-like) displacement cost.  Rare on realistic utilizations; the
+    driver counts its uses in the run statistics. *)
+
+val relieve : Config.t -> Grid.t -> src:Grid.bin -> bool
+(** Move the cheapest movable cell of [src] into the nearest bin whose
+    demand covers the cell's width (respecting the D2D configuration and
+    die utilization caps).  Returns false when no cell of [src] fits
+    anywhere. *)

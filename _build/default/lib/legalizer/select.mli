@@ -1,0 +1,58 @@
+(** Selection of the fractional-cell set C(u, v) to move across one edge
+    (Alg. 1 line 10 / §III-C).
+
+    Shared by the path search (speculative) and the path realization
+    (actual movement): both must pick the same cells given the same grid
+    state.
+
+    Across a {e horizontal} edge the cheapest fractions are moved and the
+    last pick is split so the moved width is exactly the needed flow.
+    Across {e vertical} / {e D2D} edges only complete cells move (all of a
+    cell's fragments); cells are taken in increasing movement cost until the
+    width freed in the source bin reaches the needed flow. *)
+
+type pick = {
+  p_cell : int;
+  p_rho : float;  (** fraction moved; 1.0 for whole-cell moves *)
+}
+
+type selection = {
+  picks : pick list;
+  freed : float;  (** width leaving the source bin, source-die units *)
+  inflow : float;  (** width entering the destination bin, dest-die units *)
+  sel_cost : float;  (** total displacement cost of the movement (Eq. 5/7) *)
+}
+
+val cur_disp : Grid.t -> int -> int
+(** Estimated displacement of a cell at its current fragment span: distance
+    from its initial position to the nearest point of the span (the D_c(u)
+    term of Eq. 5). *)
+
+val unit_cost :
+  ?cur:(int -> int) ->
+  Config.t ->
+  Grid.t ->
+  cell:int ->
+  dst:Grid.bin ->
+  kind:Grid.edge_kind ->
+  float
+(** cost_{u,v,c} for moving one cell toward [dst]: [D_c(v) − D_c(u)], plus
+    the Eq. 7 congestion term on D2D edges, clamped at 0 when the
+    configuration forbids negative costs. *)
+
+val select :
+  ?cur:(int -> int) ->
+  Config.t ->
+  Grid.t ->
+  src:Grid.bin ->
+  dst:Grid.bin ->
+  kind:Grid.edge_kind ->
+  need:float ->
+  selection option
+(** [select cfg grid ~src ~dst ~kind ~need] picks C(src, dst) shedding at
+    least [need] width from [src] ([freed >= need], with equality for
+    horizontal edges).  [None] when the bin cannot shed [need] width or, on
+    a D2D edge, when moving would exceed the destination die's utilization
+    cap (§III-F).  [?cur] optionally overrides the D_c(u) lookup with a
+    cached function — the search memoizes it per search epoch, since the
+    grid does not mutate while searching. *)

@@ -1,0 +1,1 @@
+lib/metrics/displacement.ml: Array Tdf_netlist

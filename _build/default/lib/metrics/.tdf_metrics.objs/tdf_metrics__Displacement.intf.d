@@ -1,0 +1,1 @@
+lib/metrics/displacement.mli: Tdf_netlist

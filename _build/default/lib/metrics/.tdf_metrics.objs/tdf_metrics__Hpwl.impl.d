@@ -1,0 +1,1 @@
+lib/metrics/hpwl.ml: Array Tdf_netlist

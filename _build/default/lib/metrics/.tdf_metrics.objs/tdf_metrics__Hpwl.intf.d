@@ -1,0 +1,1 @@
+lib/metrics/hpwl.mli: Tdf_netlist

@@ -1,0 +1,1 @@
+lib/metrics/legality.ml: Array Format Hashtbl List Tdf_geometry Tdf_grid Tdf_netlist

@@ -1,0 +1,1 @@
+lib/metrics/legality.mli: Tdf_netlist

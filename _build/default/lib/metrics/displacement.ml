@@ -1,0 +1,44 @@
+module Design = Tdf_netlist.Design
+module Die = Tdf_netlist.Die
+module Placement = Tdf_netlist.Placement
+
+type summary = {
+  avg_norm : float;
+  max_norm : float;
+  avg_raw : float;
+  max_raw : int;
+  avg_weighted : float;
+}
+
+let per_cell design p c =
+  let raw = Placement.displacement design p c in
+  let h_r = (Design.die design p.Placement.die.(c)).Die.row_height in
+  float_of_int raw /. float_of_int h_r
+
+let summary design p =
+  let n = Placement.n_cells p in
+  if n = 0 then
+    { avg_norm = 0.; max_norm = 0.; avg_raw = 0.; max_raw = 0; avg_weighted = 0. }
+  else begin
+    let sum_norm = ref 0. and max_norm = ref 0. in
+    let sum_raw = ref 0 and max_raw = ref 0 in
+    let sum_weighted = ref 0. and sum_weight = ref 0. in
+    for c = 0 to n - 1 do
+      let raw = Placement.displacement design p c in
+      let norm = per_cell design p c in
+      let weight = (Design.cell design c).Tdf_netlist.Cell.weight in
+      sum_norm := !sum_norm +. norm;
+      if norm > !max_norm then max_norm := norm;
+      sum_raw := !sum_raw + raw;
+      if raw > !max_raw then max_raw := raw;
+      sum_weighted := !sum_weighted +. (weight *. norm);
+      sum_weight := !sum_weight +. weight
+    done;
+    {
+      avg_norm = !sum_norm /. float_of_int n;
+      max_norm = !max_norm;
+      avg_raw = float_of_int !sum_raw /. float_of_int n;
+      max_raw = !max_raw;
+      avg_weighted = !sum_weighted /. !sum_weight;
+    }
+  end

@@ -1,0 +1,20 @@
+(** Displacement metrics of Tables III–V.
+
+    Each cell's Manhattan displacement |x−x'|+|y−y'| is normalized by the
+    row height of its final die ("normalized by the row height"; per-die
+    normalization is the only well-defined choice under heterogeneous row
+    heights — see DESIGN.md §4). *)
+
+type summary = {
+  avg_norm : float;  (** mean normalized displacement (Avg. Disp.) *)
+  max_norm : float;  (** max normalized displacement (Max. Disp.) *)
+  avg_raw : float;  (** mean raw Manhattan displacement, DBU *)
+  max_raw : int;  (** max raw Manhattan displacement, DBU *)
+  avg_weighted : float;
+      (** criticality-weighted mean: Σ weight·disp_norm / Σ weight *)
+}
+
+val per_cell : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> int -> float
+(** Normalized displacement of one cell. *)
+
+val summary : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> summary

@@ -1,0 +1,17 @@
+(** Half-perimeter wirelength.
+
+    Pins sit at cell centers; all dies are projected onto one plane, the
+    standard F2F metric when hybrid-bonding terminals are not modeled
+    (DESIGN.md §4).  Fig. 7 reports the increase from the global placement
+    to the legal placement. *)
+
+val of_placement : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> float
+(** Σ over nets of the pin bounding-box half-perimeter. *)
+
+val of_global : Tdf_netlist.Design.t -> float
+(** HPWL of the global placement itself (cells at initial positions on
+    their nearest dies). *)
+
+val increase_pct : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> float
+(** ΔHPWL in percent: 100·(legal − global)/global; 0 when the design has
+    no nets. *)

@@ -1,0 +1,13 @@
+(** Legality audit of a placement: every cell on a valid die, y on a row,
+    x on the site grid, footprint inside one row segment (hence inside the
+    outline and clear of macros), and no two cells overlapping. *)
+
+type report = {
+  n_violations : int;
+  messages : string list;  (** first few violations, human-readable *)
+  overlap_area : int;  (** total pairwise cell-overlap area *)
+}
+
+val check : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> report
+
+val is_legal : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> bool

@@ -1,0 +1,1 @@
+lib/netlist/blockage.ml: Tdf_geometry

@@ -1,0 +1,1 @@
+lib/netlist/blockage.mli: Tdf_geometry

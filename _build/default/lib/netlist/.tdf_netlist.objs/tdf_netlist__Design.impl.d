@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Blockage Cell Die Format List Net Tdf_geometry

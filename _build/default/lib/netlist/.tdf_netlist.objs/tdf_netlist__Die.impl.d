@@ -1,0 +1,1 @@
+lib/netlist/die.ml: Float Tdf_geometry

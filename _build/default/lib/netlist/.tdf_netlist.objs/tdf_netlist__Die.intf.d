@@ -1,0 +1,1 @@
+lib/netlist/die.mli: Tdf_geometry

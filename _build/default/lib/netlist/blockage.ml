@@ -1,0 +1,10 @@
+type t = {
+  id : int;
+  name : string;
+  die : int;
+  rect : Tdf_geometry.Rect.t;
+}
+
+let make ~id ?name ~die ~rect () =
+  let name = match name with Some n -> n | None -> "m" ^ string_of_int id in
+  { id; name; die; rect }

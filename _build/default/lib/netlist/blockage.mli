@@ -1,0 +1,11 @@
+(** A macro, treated as a fixed blockage on one die (§II-B: "macros have
+    been placed on their corresponding dies without any overlap"). *)
+
+type t = {
+  id : int;
+  name : string;
+  die : int;
+  rect : Tdf_geometry.Rect.t;
+}
+
+val make : id:int -> ?name:string -> die:int -> rect:Tdf_geometry.Rect.t -> unit -> t

@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  name : string;
+  widths : int array;
+  gp_x : int;
+  gp_y : int;
+  gp_z : float;
+  weight : float;
+}
+
+let make ~id ?name ?(weight = 1.0) ~widths ~gp_x ~gp_y ~gp_z () =
+  assert (Array.length widths > 0);
+  assert (Array.for_all (fun w -> w > 0) widths);
+  assert (weight > 0.);
+  let name = match name with Some n -> n | None -> "c" ^ string_of_int id in
+  { id; name; widths; gp_x; gp_y; gp_z; weight }
+
+let width_on c die = c.widths.(die)
+
+let nearest_die c ~n_dies =
+  let d = int_of_float (Float.round c.gp_z) in
+  max 0 (min (n_dies - 1) d)

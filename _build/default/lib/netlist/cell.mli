@@ -1,0 +1,39 @@
+(** A movable standard cell.
+
+    A cell has one width per die ([w_c^+] / [w_c^-] in the paper, generalized
+    to any stack depth); its height always equals the row height of the die
+    it currently sits on.  The global-placement position is the "initial"
+    position [(x'_c, y'_c)] that displacement is measured against, plus a
+    continuous die coordinate [gp_z] as produced by a true-3D placer. *)
+
+type t = {
+  id : int;  (** dense index into [Design.cells] *)
+  name : string;
+  widths : int array;  (** width on each die, length = number of dies *)
+  gp_x : int;  (** initial low-left x *)
+  gp_y : int;  (** initial low-left y *)
+  gp_z : float;  (** continuous die coordinate in [0, n_dies - 1] *)
+  weight : float;
+      (** movement-cost weight (timing criticality); 1.0 for ordinary
+          cells.  Weighted cells are more expensive to displace for the
+          flow search, PlaceRow and the baselines alike. *)
+}
+
+val make :
+  id:int ->
+  ?name:string ->
+  ?weight:float ->
+  widths:int array ->
+  gp_x:int ->
+  gp_y:int ->
+  gp_z:float ->
+  unit ->
+  t
+(** [name] defaults to ["c<id>"], [weight] to 1.0 (must be positive).  All
+    widths must be positive. *)
+
+val width_on : t -> int -> int
+(** [width_on c die] is the cell's width on die [die]. *)
+
+val nearest_die : t -> n_dies:int -> int
+(** Round [gp_z] to the nearest valid die index. *)

@@ -1,0 +1,6 @@
+type t = { id : int; name : string; pins : int array }
+
+let make ~id ?name ~pins () =
+  assert (Array.length pins > 0);
+  let name = match name with Some n -> n | None -> "n" ^ string_of_int id in
+  { id; name; pins }

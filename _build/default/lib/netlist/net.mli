@@ -1,0 +1,10 @@
+(** A net connecting a set of cells; pins are taken at cell centers for HPWL. *)
+
+type t = {
+  id : int;
+  name : string;
+  pins : int array;  (** cell ids *)
+}
+
+val make : id:int -> ?name:string -> pins:int array -> unit -> t
+(** Requires at least one pin. *)

@@ -1,0 +1,34 @@
+module Rect = Tdf_geometry.Rect
+
+type t = {
+  x : int array;
+  y : int array;
+  die : int array;
+}
+
+let initial design =
+  let n = Design.n_cells design in
+  let nd = Design.n_dies design in
+  let x = Array.make n 0 and y = Array.make n 0 and die = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let c = Design.cell design i in
+    x.(i) <- c.Cell.gp_x;
+    y.(i) <- c.Cell.gp_y;
+    die.(i) <- Cell.nearest_die c ~n_dies:nd
+  done;
+  { x; y; die }
+
+let copy t = { x = Array.copy t.x; y = Array.copy t.y; die = Array.copy t.die }
+
+let n_cells t = Array.length t.x
+
+let displacement design p c =
+  let cl = Design.cell design c in
+  abs (p.x.(c) - cl.Cell.gp_x) + abs (p.y.(c) - cl.Cell.gp_y)
+
+let cell_rect design p c =
+  let cl = Design.cell design c in
+  let d = p.die.(c) in
+  let w = Cell.width_on cl d in
+  let h = (Design.die design d).Die.row_height in
+  Rect.make ~x:p.x.(c) ~y:p.y.(c) ~w ~h

@@ -1,0 +1,28 @@
+(** A (candidate) placement: current low-left position and die per cell.
+
+    Mutable arrays indexed by cell id.  [initial] snapshots the global
+    placement with each cell on its nearest die; legalizers transform a copy
+    into a legal placement. *)
+
+type t = {
+  x : int array;
+  y : int array;
+  die : int array;
+}
+
+val initial : Design.t -> t
+(** Positions from the global placement, dies from rounding [gp_z]
+    (the greedy nearest-die assignment of §II-B). *)
+
+val copy : t -> t
+
+val n_cells : t -> int
+
+val displacement : Design.t -> t -> int -> int
+(** [displacement design p c] is the Manhattan displacement
+    [|x_c - x'_c| + |y_c - y'_c|] of cell [c] (Eq. 4); die changes are not
+    charged, matching the paper. *)
+
+val cell_rect : Design.t -> t -> int -> Tdf_geometry.Rect.t
+(** Footprint of cell [c] at its current position: its width on the current
+    die × the die's row height. *)

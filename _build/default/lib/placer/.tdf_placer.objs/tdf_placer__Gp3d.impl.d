@@ -1,0 +1,1 @@
+lib/placer/gp3d.ml: Array Float List Tdf_geometry Tdf_netlist Tdf_util

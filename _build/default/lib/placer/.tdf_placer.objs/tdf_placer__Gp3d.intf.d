@@ -1,0 +1,1 @@
+lib/placer/gp3d.mli: Tdf_netlist

@@ -1,0 +1,201 @@
+module Prng = Tdf_util.Prng
+module Rect = Tdf_geometry.Rect
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Net = Tdf_netlist.Net
+module Design = Tdf_netlist.Design
+
+type result = {
+  xs : float array;
+  ys : float array;
+  zs : float array;
+  hpwl_trace : float list;
+}
+
+let hpwl design xs ys =
+  Array.fold_left
+    (fun acc (n : Net.t) ->
+      let min_x = ref infinity and max_x = ref neg_infinity in
+      let min_y = ref infinity and max_y = ref neg_infinity in
+      Array.iter
+        (fun pin ->
+          if xs.(pin) < !min_x then min_x := xs.(pin);
+          if xs.(pin) > !max_x then max_x := xs.(pin);
+          if ys.(pin) < !min_y then min_y := ys.(pin);
+          if ys.(pin) > !max_y then max_y := ys.(pin))
+        n.Net.pins;
+      acc +. (!max_x -. !min_x) +. (!max_y -. !min_y))
+    0. design.Design.nets
+
+(* Density field: a grid_dim × grid_dim histogram of cell area (average of
+   the per-die footprints), plus macro area pre-filled. *)
+let density_field design ~grid_dim xs ys =
+  let o = (Design.die design 0).Die.outline in
+  let fw = float_of_int o.Rect.w and fh = float_of_int o.Rect.h in
+  let cell_w = fw /. float_of_int grid_dim in
+  let cell_h = fh /. float_of_int grid_dim in
+  let density = Array.make_matrix grid_dim grid_dim 0. in
+  let bin_of x y =
+    let i = int_of_float ((x -. float_of_int o.Rect.x) /. cell_w) in
+    let j = int_of_float ((y -. float_of_int o.Rect.y) /. cell_h) in
+    (max 0 (min (grid_dim - 1) i), max 0 (min (grid_dim - 1) j))
+  in
+  (* macros fill their bins on a per-die-average basis *)
+  Array.iter
+    (fun (m : Tdf_netlist.Blockage.t) ->
+      let r = m.Tdf_netlist.Blockage.rect in
+      let i0, j0 = bin_of (float_of_int r.Rect.x) (float_of_int r.Rect.y) in
+      let i1, j1 =
+        bin_of (float_of_int (r.Rect.x + r.Rect.w - 1)) (float_of_int (r.Rect.y + r.Rect.h - 1))
+      in
+      for i = i0 to i1 do
+        for j = j0 to j1 do
+          density.(i).(j) <- density.(i).(j) +. (0.5 *. cell_w *. cell_h)
+        done
+      done)
+    design.Design.macros;
+  let nd = Design.n_dies design in
+  Array.iteri
+    (fun c (cell : Cell.t) ->
+      let area =
+        (* mean footprint across dies *)
+        let sum = ref 0. in
+        for d = 0 to nd - 1 do
+          sum :=
+            !sum
+            +. float_of_int (Cell.width_on cell d * (Design.die design d).Die.row_height)
+        done;
+        !sum /. float_of_int nd
+      in
+      let i, j = bin_of xs.(c) ys.(c) in
+      density.(i).(j) <- density.(i).(j) +. area)
+    design.Design.cells;
+  (density, bin_of, cell_w, cell_h)
+
+let place ?(iterations = 60) ?(grid_dim = 24) ?seed design =
+  let n = Design.n_cells design in
+  let o = (Design.die design 0).Die.outline in
+  let fw = float_of_int o.Rect.w and fh = float_of_int o.Rect.h in
+  let ox = float_of_int o.Rect.x and oy = float_of_int o.Rect.y in
+  let rng =
+    Prng.of_string (match seed with Some s -> s | None -> design.Design.name ^ "/gp3d")
+  in
+  (* init: loose Gaussian around the die center *)
+  let xs = Array.init n (fun _ -> ox +. (fw /. 2.) +. Prng.gaussian rng ~mean:0. ~stddev:(fw /. 4.)) in
+  let ys = Array.init n (fun _ -> oy +. (fh /. 2.) +. Prng.gaussian rng ~mean:0. ~stddev:(fh /. 4.)) in
+  let zs = Array.init n (fun _ -> 0.5 +. Prng.gaussian rng ~mean:0. ~stddev:0.15) in
+  let clamp v lo hi = Float.max lo (Float.min hi v) in
+  Array.iteri (fun i v -> xs.(i) <- clamp v ox (ox +. fw -. 1.)) xs;
+  Array.iteri (fun i v -> ys.(i) <- clamp v oy (oy +. fh -. 1.)) ys;
+  Array.iteri (fun i v -> zs.(i) <- clamp v 0. 1.) zs;
+  let fx = Array.make n 0. and fy = Array.make n 0. and fz = Array.make n 0. in
+  let degree = Array.make n 0 in
+  Array.iter
+    (fun (net : Net.t) ->
+      Array.iter (fun pin -> degree.(pin) <- degree.(pin) + 1) net.Net.pins)
+    design.Design.nets;
+  let trace = ref [ hpwl design xs ys ] in
+  for it = 1 to iterations do
+    Array.fill fx 0 n 0.;
+    Array.fill fy 0 n 0.;
+    Array.fill fz 0 n 0.;
+    (* star-model wirelength attraction toward net centroids *)
+    Array.iter
+      (fun (net : Net.t) ->
+        let k = Array.length net.Net.pins in
+        if k >= 2 then begin
+          let cx = ref 0. and cy = ref 0. and cz = ref 0. in
+          Array.iter
+            (fun pin ->
+              cx := !cx +. xs.(pin);
+              cy := !cy +. ys.(pin);
+              cz := !cz +. zs.(pin))
+            net.Net.pins;
+          let kf = float_of_int k in
+          let cx = !cx /. kf and cy = !cy /. kf and cz = !cz /. kf in
+          let w = 1. /. float_of_int (k - 1) in
+          Array.iter
+            (fun pin ->
+              fx.(pin) <- fx.(pin) +. (w *. (cx -. xs.(pin)));
+              fy.(pin) <- fy.(pin) +. (w *. (cy -. ys.(pin)));
+              fz.(pin) <- fz.(pin) +. (w *. (cz -. zs.(pin))))
+            net.Net.pins
+        end)
+      design.Design.nets;
+    (* density push, ramped up over the schedule *)
+    let density, bin_of, cell_w, cell_h = density_field design ~grid_dim xs ys in
+    let target =
+      (* average density per bin *)
+      let total = Array.fold_left (fun a row -> Array.fold_left ( +. ) a row) 0. density in
+      total /. float_of_int (grid_dim * grid_dim)
+    in
+    let ramp = 0.2 +. (1.3 *. float_of_int it /. float_of_int iterations) in
+    for c = 0 to n - 1 do
+      let i, j = bin_of xs.(c) ys.(c) in
+      let d_here = density.(i).(j) in
+      if d_here > target *. 1.05 then begin
+        (* push along the discrete density gradient *)
+        let d_at i j =
+          if i < 0 || i >= grid_dim || j < 0 || j >= grid_dim then infinity
+          else density.(i).(j)
+        in
+        let gx = d_at (i + 1) j -. d_at (i - 1) j in
+        let gy = d_at i (j + 1) -. d_at i (j - 1) in
+        let gx = if Float.is_finite gx then gx else 0. in
+        let gy = if Float.is_finite gy then gy else 0. in
+        let overflow = (d_here -. target) /. Float.max 1. target in
+        let push = ramp *. overflow in
+        (* jitter breaks grid-aligned stalemates deterministically *)
+        let jx = Prng.float rng 1.0 -. 0.5 and jy = Prng.float rng 1.0 -. 0.5 in
+        fx.(c) <- fx.(c) -. (push *. ((gx /. Float.max 1. (Float.abs gx +. Float.abs gy) *. cell_w) +. jx));
+        fy.(c) <- fy.(c) -. (push *. ((gy /. Float.max 1. (Float.abs gx +. Float.abs gy) *. cell_h) +. jy))
+      end
+    done;
+    (* die balance: drift z toward the lighter half-space *)
+    let load0 = ref 0. and load1 = ref 0. in
+    for c = 0 to n - 1 do
+      let w = float_of_int (Cell.width_on (Design.cell design c) 0) in
+      if zs.(c) < 0.5 then load0 := !load0 +. w else load1 := !load1 +. w
+    done;
+    let drift =
+      let total = !load0 +. !load1 in
+      if total <= 0. then 0. else 0.08 *. ((!load1 -. !load0) /. total)
+    in
+    (* apply with damping *)
+    let step = 0.6 in
+    for c = 0 to n - 1 do
+      let damp = step /. Float.max 1. (sqrt (float_of_int degree.(c))) in
+      xs.(c) <- clamp (xs.(c) +. (damp *. fx.(c))) ox (ox +. fw -. 1.);
+      ys.(c) <- clamp (ys.(c) +. (damp *. fy.(c))) oy (oy +. fh -. 1.);
+      zs.(c) <- clamp (zs.(c) +. (damp *. fz.(c)) -. drift) 0. 1.
+    done;
+    trace := hpwl design xs ys :: !trace
+  done;
+  { xs; ys; zs; hpwl_trace = List.rev !trace }
+
+let apply design r =
+  let nd = Design.n_dies design in
+  let o = (Design.die design 0).Die.outline in
+  let cells =
+    Array.mapi
+      (fun c (cell : Cell.t) ->
+        let z = Float.max 0. (Float.min 1. r.zs.(c)) in
+        let die = if z >= 0.5 then min (nd - 1) 1 else 0 in
+        let w = Cell.width_on cell die in
+        let h = (Design.die design die).Die.row_height in
+        let x =
+          int_of_float (r.xs.(c) -. (float_of_int w /. 2.))
+          |> max o.Rect.x
+          |> min (o.Rect.x + o.Rect.w - w)
+        in
+        let y =
+          int_of_float (r.ys.(c) -. (float_of_int h /. 2.))
+          |> max o.Rect.y
+          |> min (o.Rect.y + o.Rect.h - h)
+        in
+        Cell.make ~id:cell.Cell.id ~name:cell.Cell.name ~weight:cell.Cell.weight
+          ~widths:cell.Cell.widths ~gp_x:x ~gp_y:y ~gp_z:z ())
+      design.Design.cells
+  in
+  Design.make ~name:(design.Design.name ^ "+gp3d") ~dies:design.Design.dies ~cells
+    ~macros:design.Design.macros ~nets:design.Design.nets ()

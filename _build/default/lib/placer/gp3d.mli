@@ -1,0 +1,45 @@
+(** A simplified true-3D analytical global placer.
+
+    The paper's legalizer consumes global placements from analytical
+    true-3D placers ([18], [19]): continuous (x, y) positions plus a
+    continuous die coordinate z, with die assignment left undetermined.
+    This module provides that substrate so the repository covers the whole
+    flow (netlist → global placement → legalization → refinement).
+
+    The algorithm is a compact cousin of the force-directed family:
+
+    - {e wirelength}: a quadratic star model per net — every pin is pulled
+      toward its net's centroid in (x, y, z), solved by damped fixed-point
+      iterations (Jacobi on the star system);
+    - {e density}: a coarse bin grid per iteration pushes cells out of
+      over-dense bins along the local density gradient, with the push
+      strength ramped up over iterations (the usual ePlace-style schedule,
+      radically simplified);
+    - {e die balance}: z receives a drift that equalizes the utilization
+      of the two half-spaces, then is clamped to [0, 1];
+    - macros act as density walls (their bins are pre-filled).
+
+    Deterministic (seeded from the design name). *)
+
+type result = {
+  xs : float array;  (** cell center x *)
+  ys : float array;  (** cell center y *)
+  zs : float array;  (** continuous die coordinate in [0, 1] *)
+  hpwl_trace : float list;
+      (** HPWL of the initial spread, then after each iteration *)
+}
+
+val place :
+  ?iterations:int ->
+  ?grid_dim:int ->
+  ?seed:string ->
+  Tdf_netlist.Design.t ->
+  result
+(** [place design] ignores the design's [gp_*] fields and computes a fresh
+    global placement.  [iterations] defaults to 60, [grid_dim] (density
+    bins per axis) to 24. *)
+
+val apply : Tdf_netlist.Design.t -> result -> Tdf_netlist.Design.t
+(** A copy of the design whose cells carry the computed global placement
+    (centers converted to low-left corners, clamped to the outline) —
+    ready for {!Tdf_legalizer.Flow3d.legalize}. *)

@@ -1,0 +1,1 @@
+lib/refine/refine.ml: Array Hashtbl List Tdf_geometry Tdf_grid Tdf_netlist

@@ -1,0 +1,1 @@
+lib/refine/refine.mli: Tdf_netlist

@@ -1,0 +1,351 @@
+module Interval = Tdf_geometry.Interval
+module Die = Tdf_netlist.Die
+module Cell = Tdf_netlist.Cell
+module Net = Tdf_netlist.Net
+module Design = Tdf_netlist.Design
+module Placement = Tdf_netlist.Placement
+
+type report = {
+  hpwl_before : float;
+  hpwl_after : float;
+  slides : int;
+  swaps : int;
+  iterations : int;
+}
+
+let pin_center design (p : Placement.t) c =
+  let cell = Design.cell design c in
+  let d = p.Placement.die.(c) in
+  let w = Cell.width_on cell d in
+  let h = (Design.die design d).Die.row_height in
+  ( float_of_int p.Placement.x.(c) +. (float_of_int w /. 2.),
+    float_of_int p.Placement.y.(c) +. (float_of_int h /. 2.) )
+
+let net_hpwl design p (n : Net.t) =
+  let min_x = ref infinity and max_x = ref neg_infinity in
+  let min_y = ref infinity and max_y = ref neg_infinity in
+  Array.iter
+    (fun pin ->
+      let x, y = pin_center design p pin in
+      if x < !min_x then min_x := x;
+      if x > !max_x then max_x := x;
+      if y < !min_y then min_y := y;
+      if y > !max_y then max_y := y)
+    n.Net.pins;
+  !max_x -. !min_x +. (!max_y -. !min_y)
+
+let total_hpwl design p =
+  Array.fold_left (fun acc n -> acc +. net_hpwl design p n) 0. design.Design.nets
+
+(* Per-cell net incidence. *)
+let build_incidence design =
+  let nets_of = Array.make (Design.n_cells design) [] in
+  Array.iter
+    (fun (n : Net.t) ->
+      Array.iter (fun pin -> nets_of.(pin) <- n.Net.id :: nets_of.(pin)) n.Net.pins)
+    design.Design.nets;
+  nets_of
+
+let affected_hpwl design p nets_of cells =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      List.iter (fun n -> Hashtbl.replace seen n ()) nets_of.(c))
+    cells;
+  Hashtbl.fold
+    (fun n () acc -> acc +. net_hpwl design p design.Design.nets.(n))
+    seen 0.
+
+(* Median of the other pins of a cell's nets: the L1-optimal position. *)
+let desired_center design p nets_of c =
+  let xs = ref [] and ys = ref [] in
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun pin ->
+          if pin <> c then begin
+            let x, y = pin_center design p pin in
+            xs := x :: !xs;
+            ys := y :: !ys
+          end)
+        design.Design.nets.(n).Net.pins)
+    nets_of.(c);
+  match !xs with
+  | [] -> None
+  | _ ->
+    let median l =
+      let a = Array.of_list l in
+      Array.sort compare a;
+      a.(Array.length a / 2)
+    in
+    Some (median !xs, median !ys)
+
+(* Rows: per (die, row) the cells sorted by x. *)
+let build_rows design p =
+  let rows = Hashtbl.create 256 in
+  for c = 0 to Design.n_cells design - 1 do
+    let d = p.Placement.die.(c) in
+    let die = Design.die design d in
+    let row = Die.row_of_y die p.Placement.y.(c) in
+    let key = (d, row) in
+    let prev = try Hashtbl.find rows key with Not_found -> [] in
+    Hashtbl.replace rows key (c :: prev)
+  done;
+  Hashtbl.fold
+    (fun key cells acc ->
+      let arr = Array.of_list cells in
+      Array.sort (fun a b -> compare p.Placement.x.(a) p.Placement.x.(b)) arr;
+      (key, arr) :: acc)
+    rows []
+
+let segments cache design die row =
+  match Hashtbl.find_opt cache (die, row) with
+  | Some s -> s
+  | None ->
+    let s = Tdf_grid.Grid.segments_of_row design die row in
+    Hashtbl.replace cache (die, row) s;
+    s
+
+let align_down ~site ~anchor x =
+  if site <= 1 then x
+  else begin
+    let d = x - anchor in
+    anchor + if d >= 0 then d / site * site else -((-d + site - 1) / site * site)
+  end
+
+(* One slide pass: move each cell within its free gap toward its desired
+   position; accept only strict HPWL improvement. *)
+let slide_pass seg_cache design p nets_of rows =
+  let accepted = ref 0 in
+  List.iter
+    (fun ((d, row), cells) ->
+      let die = Design.die design d in
+      let n = Array.length cells in
+      for i = 0 to n - 1 do
+        let c = cells.(i) in
+        match desired_center design p nets_of c with
+        | None -> ()
+        | Some (dx, _) ->
+          let w = Cell.width_on (Design.cell design c) d in
+          let x0 = p.Placement.x.(c) in
+          (* gap bounds from row neighbours and the containing segment *)
+          let prev_end =
+            if i = 0 then min_int
+            else p.Placement.x.(cells.(i - 1)) + Cell.width_on (Design.cell design cells.(i - 1)) d
+          in
+          let next_start =
+            if i = n - 1 then max_int else p.Placement.x.(cells.(i + 1))
+          in
+          let seg =
+            List.find_opt
+              (fun (s : Interval.t) -> s.Interval.lo <= x0 && x0 + w <= s.Interval.hi)
+              (segments seg_cache design d row)
+          in
+          (match seg with
+          | None -> ()
+          | Some s ->
+            let lo = max prev_end s.Interval.lo in
+            let hi = min next_start s.Interval.hi in
+            if hi - lo >= w then begin
+              let target = int_of_float (dx -. (float_of_int w /. 2.)) in
+              let x1 = max lo (min (hi - w) target) in
+              let x1 =
+                align_down ~site:die.Die.site_width
+                  ~anchor:die.Die.outline.Tdf_geometry.Rect.x x1
+              in
+              let x1 = if x1 < lo then x1 + die.Die.site_width else x1 in
+              if x1 <> x0 && x1 >= lo && x1 + w <= hi then begin
+                let before = affected_hpwl design p nets_of [ c ] in
+                p.Placement.x.(c) <- x1;
+                let after = affected_hpwl design p nets_of [ c ] in
+                if after < before -. 1e-9 then incr accepted
+                else p.Placement.x.(c) <- x0
+              end
+            end)
+      done)
+    rows;
+  !accepted
+
+(* Adjacent reordering: two row neighbours may exchange their order inside
+   their combined span whatever their widths — the span and its outside
+   gaps are untouched, so legality is preserved. *)
+let reorder_pass seg_cache design p nets_of rows =
+  let accepted = ref 0 in
+  List.iter
+    (fun ((d, row), cells) ->
+      let die = Design.die design d in
+      let n = Array.length cells in
+      for i = 0 to n - 2 do
+        let c = cells.(i) and cd = cells.(i + 1) in
+        let wc = Cell.width_on (Design.cell design c) d in
+        let wd = Cell.width_on (Design.cell design cd) d in
+        let span_lo = p.Placement.x.(c) in
+        let span_hi = p.Placement.x.(cd) + wd in
+        (* both cells must stay inside one segment: row neighbours can sit
+           on opposite sides of a macro *)
+        let same_segment =
+          List.exists
+            (fun (s : Interval.t) ->
+              s.Interval.lo <= span_lo && span_hi <= s.Interval.hi)
+            (segments seg_cache design d row)
+        in
+        let new_xc =
+          align_down ~site:die.Die.site_width
+            ~anchor:die.Die.outline.Tdf_geometry.Rect.x (span_hi - wc)
+        in
+        if same_segment && new_xc >= span_lo + wd then begin
+          let old_xc = p.Placement.x.(c) and old_xd = p.Placement.x.(cd) in
+          let before = affected_hpwl design p nets_of [ c; cd ] in
+          p.Placement.x.(cd) <- span_lo;
+          p.Placement.x.(c) <- new_xc;
+          let after = affected_hpwl design p nets_of [ c; cd ] in
+          if after < before -. 1e-9 then begin
+            incr accepted;
+            cells.(i) <- cd;
+            cells.(i + 1) <- c
+          end
+          else begin
+            p.Placement.x.(c) <- old_xc;
+            p.Placement.x.(cd) <- old_xd
+          end
+        end
+      done)
+    rows;
+  !accepted
+
+(* One swap pass: exchange interchangeable cells when it reduces HPWL. *)
+let swap_pass design p nets_of rows ~swap_window =
+  let accepted = ref 0 in
+  let row_index = Hashtbl.create 64 in
+  List.iter (fun (key, cells) -> Hashtbl.replace row_index key cells) rows;
+  let try_swap c d =
+    if c <> d then begin
+      let cc = Design.cell design c and cd = Design.cell design d in
+      let die_c = p.Placement.die.(c) and die_d = p.Placement.die.(d) in
+      (* interchangeable footprints only *)
+      if
+        Cell.width_on cc die_d = Cell.width_on cd die_d
+        && Cell.width_on cd die_c = Cell.width_on cc die_c
+      then begin
+        let before = affected_hpwl design p nets_of [ c; d ] in
+        let swap () =
+          let tx = p.Placement.x.(c) and ty = p.Placement.y.(c) in
+          let tdie = p.Placement.die.(c) in
+          p.Placement.x.(c) <- p.Placement.x.(d);
+          p.Placement.y.(c) <- p.Placement.y.(d);
+          p.Placement.die.(c) <- p.Placement.die.(d);
+          p.Placement.x.(d) <- tx;
+          p.Placement.y.(d) <- ty;
+          p.Placement.die.(d) <- tdie
+        in
+        swap ();
+        let after = affected_hpwl design p nets_of [ c; d ] in
+        if after < before -. 1e-9 then begin
+          incr accepted;
+          true
+        end
+        else begin
+          swap ();
+          false
+        end
+      end
+      else false
+    end
+    else false
+  in
+  for c = 0 to Design.n_cells design - 1 do
+    match desired_center design p nets_of c with
+    | None -> ()
+    | Some (dx, dy) ->
+      (* candidates: cells near the desired point on either die *)
+      let nd = Design.n_dies design in
+      let found = ref false in
+      for d = 0 to nd - 1 do
+        if not !found then begin
+          let die = Design.die design d in
+          let row = Die.nearest_row die (int_of_float dy) in
+          match Hashtbl.find_opt row_index (d, row) with
+          | None -> ()
+          | Some cells ->
+            (* binary search the first cell right of dx, scan a window *)
+            let n = Array.length cells in
+            let rec bisect lo hi =
+              if lo >= hi then lo
+              else begin
+                let mid = (lo + hi) / 2 in
+                if float_of_int p.Placement.x.(cells.(mid)) < dx then
+                  bisect (mid + 1) hi
+                else bisect lo mid
+              end
+            in
+            let center = bisect 0 n in
+            let lo = max 0 (center - (swap_window / 2)) in
+            let hi = min (n - 1) (center + (swap_window / 2)) in
+            let j = ref lo in
+            while (not !found) && !j <= hi do
+              (* keep the row arrays consistent: swapping equal-width cells
+                 exchanges their slots, so swap the ids in the arrays too *)
+              let cand = cells.(!j) in
+              if try_swap c cand then begin
+                found := true;
+                (* fix both row arrays: replace c by cand and vice versa *)
+                let fix arr a b =
+                  Array.iteri (fun k v -> if v = a then arr.(k) <- b) arr
+                in
+                (match
+                   Hashtbl.fold
+                     (fun key cells acc ->
+                       if Array.exists (( = ) c) cells && key <> (d, row) then
+                         Some (key, cells)
+                       else acc)
+                     row_index None
+                 with
+                | Some (_, home_cells) ->
+                  fix home_cells c cand;
+                  fix cells cand c
+                | None ->
+                  (* same row swap: exchange in place *)
+                  let pos_c = ref (-1) and pos_d = ref (-1) in
+                  Array.iteri
+                    (fun k v ->
+                      if v = c then pos_c := k;
+                      if v = cand then pos_d := k)
+                    cells;
+                  if !pos_c >= 0 && !pos_d >= 0 then begin
+                    cells.(!pos_c) <- cand;
+                    cells.(!pos_d) <- c
+                  end)
+              end;
+              incr j
+            done
+        end
+      done
+  done;
+  !accepted
+
+let run ?(iterations = 3) ?(swap_window = 8) design p =
+  let nets_of = build_incidence design in
+  let seg_cache = Hashtbl.create 64 in
+  let hpwl_before = total_hpwl design p in
+  let slides = ref 0 and swaps = ref 0 and iters = ref 0 in
+  let continue = ref true in
+  while !continue && !iters < iterations do
+    incr iters;
+    let rows = build_rows design p in
+    let s1 = slide_pass seg_cache design p nets_of rows in
+    (* rebuild rows: slides changed x order bounds are intact, but swap
+       bookkeeping is simpler on fresh arrays *)
+    let rows = build_rows design p in
+    let s2 = reorder_pass seg_cache design p nets_of rows in
+    let s3 = swap_pass design p nets_of rows ~swap_window in
+    slides := !slides + s1;
+    swaps := !swaps + s2 + s3;
+    if s1 + s2 + s3 = 0 then continue := false
+  done;
+  {
+    hpwl_before;
+    hpwl_after = total_hpwl design p;
+    slides = !slides;
+    swaps = !swaps;
+    iterations = !iters;
+  }

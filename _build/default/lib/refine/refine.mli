@@ -1,0 +1,35 @@
+(** Legality-preserving detailed-placement refinement.
+
+    After legalization the placement is legal but nets may be stretched
+    (Fig. 7 measures exactly this).  This pass recovers wirelength with
+    two strictly legal move types, accepted only when they reduce HPWL:
+
+    - {e slide}: move a cell within the free gap between its row
+      neighbours toward the median of its nets;
+    - {e reorder}: exchange two row neighbours inside their combined span
+      (legal for any widths);
+    - {e swap}: exchange two distant cells whose footprints are
+      interchangeable at each other's positions (equal widths on the
+      respective dies).
+
+    Deterministic; every accepted move strictly decreases total HPWL, so
+    the pass terminates. *)
+
+type report = {
+  hpwl_before : float;
+  hpwl_after : float;
+  slides : int;  (** accepted slide moves *)
+  swaps : int;  (** accepted reorder + swap moves *)
+  iterations : int;  (** passes actually run (stops early when converged) *)
+}
+
+val run :
+  ?iterations:int ->
+  ?swap_window:int ->
+  Tdf_netlist.Design.t ->
+  Tdf_netlist.Placement.t ->
+  report
+(** [run design p] refines [p] in place.  [iterations] (default 3) bounds
+    the number of full passes; [swap_window] (default 8) bounds the swap
+    candidates examined per cell.  The placement must be legal on entry and
+    is legal on exit. *)

@@ -1,0 +1,66 @@
+type 'a entry = { key : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h e =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap e in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let rec sift_up d i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if d.(p).key > d.(i).key then begin
+      let tmp = d.(p) in
+      d.(p) <- d.(i);
+      d.(i) <- tmp;
+      sift_up d p
+    end
+  end
+
+let rec sift_down d size i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < size && d.(l).key < d.(i).key then l else i in
+  let m = if r < size && d.(r).key < d.(m).key then r else m in
+  if m <> i then begin
+    let tmp = d.(m) in
+    d.(m) <- d.(i);
+    d.(i) <- tmp;
+    sift_down d size m
+  end
+
+let add h ~key value =
+  let e = { key; value } in
+  grow h e;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  sift_up h.data (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    if h.size > 0 then sift_down h.data h.size 0;
+    Some (top.key, top.value)
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some kv -> kv
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let peek h = if h.size = 0 then None else Some (h.data.(0).key, h.data.(0).value)
+
+let clear h = h.size <- 0

@@ -1,0 +1,30 @@
+(** Mutable binary min-heap keyed by floats.
+
+    Used as the priority queue of Algorithm 1 (bins ordered by path cost) and
+    of Algorithm 2 (supply bins ordered by descending supply — negate the
+    key).  Insertion-only discipline: Algorithm 1 marks bins visited on first
+    pop, so no decrease-key is needed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:float -> 'a -> unit
+(** [add h ~key v] inserts [v] with priority [key] (smaller pops first). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element, or [None] when empty. *)
+
+val pop_exn : 'a t -> float * 'a
+(** Like {!pop} but raises [Invalid_argument] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-key element without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all elements (keeps allocated storage). *)

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All randomness in the project flows through this module so that every
+    generated benchmark and every experiment is bit-reproducible.  The
+    generator is the SplitMix64 mixer of Steele, Lea and Flood, which has a
+    full 2^64 period and passes BigCrush. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val of_string : string -> t
+(** [of_string s] seeds a generator from the FNV-1a hash of [s]; used to
+    derive one independent stream per benchmark case name. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,42 @@
+type summary = {
+  count : int;
+  mean : float;
+  max : float;
+  min : float;
+  stddev : float;
+  total : float;
+}
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then { count = 0; mean = 0.; max = 0.; min = 0.; stddev = 0.; total = 0. }
+  else begin
+    let total = Array.fold_left ( +. ) 0. xs in
+    let mean = total /. float_of_int n in
+    let mx = Array.fold_left Float.max neg_infinity xs in
+    let mn = Array.fold_left Float.min infinity xs in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+      /. float_of_int n
+    in
+    { count = n; mean; max = mx; min = mn; stddev = sqrt var; total }
+  end
+
+let mean xs = (summarize xs).mean
+
+let max_value xs = if Array.length xs = 0 then 0. else (summarize xs).max
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 || Array.exists (fun x -> x <= 0.) xs then 0.
+  else exp (Array.fold_left (fun acc x -> acc +. log x) 0. xs /. float_of_int n)

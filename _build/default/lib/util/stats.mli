@@ -1,0 +1,26 @@
+(** Summary statistics over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  max : float;
+  min : float;
+  stddev : float;
+  total : float;
+}
+
+val summarize : float array -> summary
+(** Summary of a sample array; the empty array yields all-zero fields. *)
+
+val mean : float array -> float
+
+val max_value : float array -> float
+(** 0 on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on a sorted copy.
+    0 on the empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive samples; 0 if any sample is non-positive or
+    the array is empty.  Used for paper-style normalized averages. *)

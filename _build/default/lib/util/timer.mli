@@ -1,0 +1,4 @@
+(** Wall-clock timing for the RT columns of Tables III and IV. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Printf Tdf_geometry Tdf_netlist Tdf_util

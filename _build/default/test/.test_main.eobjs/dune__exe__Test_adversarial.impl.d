@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Alcotest Array Fixtures List String Tdf_baselines Tdf_experiments Tdf_geometry Tdf_grid Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_refine

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Fixtures List QCheck QCheck_alcotest String Tdf_baselines Tdf_metrics Tdf_netlist

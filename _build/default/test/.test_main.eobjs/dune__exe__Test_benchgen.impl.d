@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Array Float List String Tdf_benchgen Tdf_geometry Tdf_grid Tdf_io Tdf_legalizer Tdf_netlist

@@ -1,0 +1,1 @@
+test/test_bonding.ml: Alcotest Array Fixtures List QCheck QCheck_alcotest Tdf_bonding Tdf_legalizer Tdf_metrics Tdf_netlist

@@ -1,0 +1,1 @@
+test/test_contest.ml: Alcotest Array String Tdf_benchgen Tdf_geometry Tdf_io Tdf_legalizer Tdf_metrics Tdf_netlist

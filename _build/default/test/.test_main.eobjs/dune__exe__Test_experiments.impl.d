@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List String Tdf_benchgen Tdf_experiments

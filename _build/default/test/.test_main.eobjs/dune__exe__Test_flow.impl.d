@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Tdf_flow

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Fixtures List QCheck QCheck_alcotest Tdf_grid Tdf_netlist Tdf_util

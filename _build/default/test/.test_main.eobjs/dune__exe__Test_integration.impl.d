@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List String Tdf_benchgen Tdf_experiments Tdf_io Tdf_metrics

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Fixtures String Sys Tdf_benchgen Tdf_io Tdf_legalizer Tdf_netlist

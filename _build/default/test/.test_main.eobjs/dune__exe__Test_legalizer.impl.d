@@ -1,0 +1,1 @@
+test/test_legalizer.ml: Alcotest Array Fixtures List Option Printf QCheck QCheck_alcotest Tdf_grid Tdf_legalizer Tdf_metrics Tdf_netlist

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Fixtures Tdf_geometry Tdf_legalizer Tdf_metrics Tdf_netlist

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Fixtures String Tdf_geometry Tdf_netlist

@@ -1,0 +1,1 @@
+test/test_place_row.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Tdf_legalizer

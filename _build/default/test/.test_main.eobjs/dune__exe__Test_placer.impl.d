@@ -1,0 +1,1 @@
+test/test_placer.ml: Alcotest Array Fixtures List Printf QCheck QCheck_alcotest String Tdf_geometry Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_placer

@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Fixtures QCheck QCheck_alcotest Tdf_legalizer Tdf_metrics Tdf_netlist Tdf_refine

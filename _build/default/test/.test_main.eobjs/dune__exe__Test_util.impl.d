@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List QCheck QCheck_alcotest Tdf_util

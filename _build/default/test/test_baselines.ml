@@ -1,0 +1,112 @@
+module B = Tdf_baselines
+module Design = Tdf_netlist.Design
+module Placement = Tdf_netlist.Placement
+module Legality = Tdf_metrics.Legality
+module Displacement = Tdf_metrics.Displacement
+
+let test_rowspace_structure () =
+  let d = Fixtures.with_macro () in
+  let space = B.Rowspace.build d in
+  (* die0: rows 0,3 unsplit; rows 1,2 split -> 4 + 2*2... total segments:
+     die0 = 1+2+2+1 = 6, die1 = 4 *)
+  Alcotest.(check int) "segment count" 10 (Array.length space.B.Rowspace.segs)
+
+let test_rowspace_iter_outward () =
+  let d = Fixtures.clustered () in
+  let space = B.Rowspace.build d in
+  let visited = ref [] in
+  B.Rowspace.iter_rows_outward space ~die:0 ~y:11 ~stop:(fun _ -> false) (fun si ->
+      visited := space.B.Rowspace.segs.(si).B.Rowspace.row :: !visited);
+  Alcotest.(check int) "visits all 4 rows" 4 (List.length !visited);
+  (* first visited row must be the nearest (row 1, y=10) *)
+  Alcotest.(check int) "nearest first" 1 (List.nth (List.rev !visited) 0)
+
+let test_rowspace_stop_prunes () =
+  let d = Fixtures.clustered () in
+  let space = B.Rowspace.build d in
+  let count = ref 0 in
+  B.Rowspace.iter_rows_outward space ~die:0 ~y:11 ~stop:(fun dist -> dist > 5)
+    (fun _ -> incr count);
+  Alcotest.(check int) "only the nearest row" 1 !count
+
+let check_legal name d p =
+  let rep = Legality.check d p in
+  if rep.Legality.n_violations <> 0 then
+    Alcotest.failf "%s illegal: %s" name
+      (String.concat "; " rep.Legality.messages)
+
+let test_tetris_legal () =
+  let d = Fixtures.clustered () in
+  check_legal "tetris" d (B.Tetris.legalize d)
+
+let test_tetris_macro_legal () =
+  let d = Fixtures.with_macro () in
+  check_legal "tetris" d (B.Tetris.legalize d)
+
+let test_abacus_legal () =
+  let d = Fixtures.clustered () in
+  check_legal "abacus" d (B.Abacus.legalize d)
+
+let test_abacus_macro_legal () =
+  let d = Fixtures.with_macro () in
+  check_legal "abacus" d (B.Abacus.legalize d)
+
+let test_bonn_legal () =
+  let d = Fixtures.with_macro () in
+  check_legal "bonn" d (B.Bonn.legalize d)
+
+let test_baselines_keep_die_assignment () =
+  (* 2D legalizers never move a cell across dies unless its die is full. *)
+  let d = Fixtures.random 3 in
+  let nd = Design.n_dies d in
+  List.iter
+    (fun (name, legalize) ->
+      let p = legalize d in
+      for c = 0 to Design.n_cells d - 1 do
+        let init = Tdf_netlist.Cell.nearest_die (Design.cell d c) ~n_dies:nd in
+        if p.Placement.die.(c) <> init then
+          Alcotest.failf "%s moved cell %d across dies on an uncongested design"
+            name c
+      done)
+    [ ("tetris", B.Tetris.legalize); ("abacus", B.Abacus.legalize) ]
+
+let test_deterministic () =
+  let d = Fixtures.random 5 in
+  let p1 = B.Tetris.legalize d and p2 = B.Tetris.legalize d in
+  Alcotest.(check (array int)) "tetris deterministic" p1.Placement.x p2.Placement.x;
+  let a1 = B.Abacus.legalize d and a2 = B.Abacus.legalize d in
+  Alcotest.(check (array int)) "abacus deterministic" a1.Placement.x a2.Placement.x
+
+let prop_baselines_legal =
+  QCheck.Test.make ~name:"baselines legalize random designs" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let d = Fixtures.random ~with_macros:(seed mod 2 = 0) seed in
+      (Legality.check d (B.Tetris.legalize d)).Legality.n_violations = 0
+      && (Legality.check d (B.Abacus.legalize d)).Legality.n_violations = 0)
+
+let prop_abacus_not_worse_than_tetris =
+  QCheck.Test.make ~name:"abacus avg displacement <= tetris (usually)" ~count:15
+    QCheck.(int_bound 1_000)
+    (fun seed ->
+      let d = Fixtures.random ~n:80 seed in
+      let t = (Displacement.summary d (B.Tetris.legalize d)).Displacement.avg_norm in
+      let a = (Displacement.summary d (B.Abacus.legalize d)).Displacement.avg_norm in
+      (* allow small wiggle; Abacus dominates Tetris on these utilizations *)
+      a <= t +. 0.35)
+
+let suite =
+  [
+    Alcotest.test_case "rowspace structure" `Quick test_rowspace_structure;
+    Alcotest.test_case "rowspace outward iteration" `Quick test_rowspace_iter_outward;
+    Alcotest.test_case "rowspace stop prunes" `Quick test_rowspace_stop_prunes;
+    Alcotest.test_case "tetris legal" `Quick test_tetris_legal;
+    Alcotest.test_case "tetris legal w/ macro" `Quick test_tetris_macro_legal;
+    Alcotest.test_case "abacus legal" `Quick test_abacus_legal;
+    Alcotest.test_case "abacus legal w/ macro" `Quick test_abacus_macro_legal;
+    Alcotest.test_case "bonn legal" `Quick test_bonn_legal;
+    Alcotest.test_case "baselines keep dies" `Quick test_baselines_keep_die_assignment;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    QCheck_alcotest.to_alcotest prop_baselines_legal;
+    QCheck_alcotest.to_alcotest prop_abacus_not_worse_than_tetris;
+  ]

@@ -1,0 +1,141 @@
+module Spec = Tdf_benchgen.Spec
+module Gen = Tdf_benchgen.Gen
+module Design = Tdf_netlist.Design
+module Die = Tdf_netlist.Die
+
+let test_spec_tables () =
+  Alcotest.(check int) "6 cases in 2022" 6 (List.length Spec.iccad2022);
+  Alcotest.(check int) "7 cases in 2023" 7 (List.length Spec.iccad2023);
+  let s = Spec.find Spec.Iccad2022 "case3h" in
+  Alcotest.(check int) "cells" 44764 s.Spec.n_cells;
+  Alcotest.(check int) "hr top" 92 s.Spec.hr_top;
+  Alcotest.(check int) "hr bottom" 115 s.Spec.hr_bottom;
+  Alcotest.check_raises "unknown case" Not_found (fun () ->
+      ignore (Spec.find Spec.Iccad2022 "nope"))
+
+let test_spec_scaled () =
+  let s = Spec.find Spec.Iccad2023 "case3" in
+  let sc = Spec.scaled s ~scale:0.01 in
+  Alcotest.(check int) "cells scaled" 1242 sc.Spec.n_cells;
+  Alcotest.(check int) "macros kept" s.Spec.n_macros sc.Spec.n_macros;
+  let same = Spec.scaled s ~scale:1.0 in
+  Alcotest.(check int) "scale 1 unchanged" s.Spec.n_cells same.Spec.n_cells;
+  let floor = Spec.scaled s ~scale:0.000001 in
+  Alcotest.(check int) "floor at 64" 64 floor.Spec.n_cells
+
+let test_generated_matches_spec () =
+  let spec = Spec.find Spec.Iccad2023 "case2" in
+  let d = Gen.generate ~scale:0.1 spec in
+  let scaled = Spec.scaled spec ~scale:0.1 in
+  Alcotest.(check int) "cell count" scaled.Spec.n_cells (Design.n_cells d);
+  Alcotest.(check int) "net count" scaled.Spec.n_nets (Array.length d.Design.nets);
+  Alcotest.(check int) "macro count" spec.Spec.n_macros (Array.length d.Design.macros);
+  Alcotest.(check int) "two dies" 2 (Design.n_dies d);
+  Alcotest.(check int) "bottom row height" spec.Spec.hr_bottom
+    (Design.die d 0).Die.row_height;
+  Alcotest.(check int) "top row height" spec.Spec.hr_top
+    (Design.die d 1).Die.row_height
+
+let test_generated_valid () =
+  List.iter
+    (fun (suite, case) ->
+      let d = Gen.generate_by_name ~scale:0.05 suite case in
+      match Design.validate d with
+      | Ok () -> ()
+      | Error es ->
+        Alcotest.failf "%s invalid: %s" case (String.concat "; " es))
+    [
+      (Spec.Iccad2022, "case2");
+      (Spec.Iccad2022, "case3h");
+      (Spec.Iccad2023, "case2");
+      (Spec.Iccad2023, "case4h");
+    ]
+
+let test_deterministic () =
+  let a = Gen.generate_by_name ~scale:0.05 Spec.Iccad2023 "case3" in
+  let b = Gen.generate_by_name ~scale:0.05 Spec.Iccad2023 "case3" in
+  Alcotest.(check string) "same design text"
+    (Tdf_io.Text.design_to_string a)
+    (Tdf_io.Text.design_to_string b)
+
+let test_cases_differ () =
+  let a = Gen.generate_by_name ~scale:0.05 Spec.Iccad2022 "case3" in
+  let b = Gen.generate_by_name ~scale:0.05 Spec.Iccad2022 "case3h" in
+  Alcotest.(check bool) "different designs" true
+    (Tdf_io.Text.design_to_string a <> Tdf_io.Text.design_to_string b)
+
+let per_die_load d =
+  let nd = Design.n_dies d in
+  let load = Array.make nd 0. in
+  Array.iter
+    (fun c ->
+      let die = Tdf_netlist.Cell.nearest_die c ~n_dies:nd in
+      load.(die) <- load.(die) +. float_of_int (Tdf_netlist.Cell.width_on c die))
+    d.Design.cells;
+  load
+
+let capacity d die_idx =
+  let die = Design.die d die_idx in
+  let rows = Die.num_rows die in
+  let blocked =
+    Array.fold_left
+      (fun acc m ->
+        if m.Tdf_netlist.Blockage.die = die_idx then
+          acc + Tdf_geometry.Rect.area m.Tdf_netlist.Blockage.rect
+        else acc)
+      0 d.Design.macros
+  in
+  (float_of_int (die.Die.outline.Tdf_geometry.Rect.w * rows * die.Die.row_height)
+  -. float_of_int blocked)
+  /. float_of_int die.Die.row_height
+
+let test_feasible_utilization () =
+  List.iter
+    (fun (suite, case) ->
+      let d = Gen.generate_by_name ~scale:0.08 suite case in
+      let load = per_die_load d in
+      for die = 0 to Design.n_dies d - 1 do
+        let u = load.(die) /. capacity d die in
+        if u >= 1.0 then
+          Alcotest.failf "%s die %d over-utilized: %.3f" case die u
+      done)
+    [ (Spec.Iccad2022, "case4"); (Spec.Iccad2023, "case3"); (Spec.Iccad2023, "case4h") ]
+
+let test_balanced_dies () =
+  let d = Gen.generate_by_name ~scale:0.08 Spec.Iccad2023 "case3" in
+  let load = per_die_load d in
+  let u0 = load.(0) /. capacity d 0 and u1 = load.(1) /. capacity d 1 in
+  Alcotest.(check bool) "utilizations within 10%" true (Float.abs (u0 -. u1) < 0.1)
+
+let test_creates_overflow () =
+  (* The point of the generator: the global placement must overflow bins. *)
+  let d = Gen.generate_by_name ~scale:0.05 Spec.Iccad2022 "case3" in
+  let bw = Tdf_legalizer.Flow3d.flow_bin_width d ~factor:10. in
+  let g = Tdf_grid.Grid.build d ~bin_width:bw in
+  Tdf_grid.Grid.assign_initial g (Tdf_netlist.Placement.initial d);
+  Alcotest.(check bool) "overflow exists" true (Tdf_grid.Grid.total_overflow g > 0.)
+
+let test_hetero_widths () =
+  let d = Gen.generate_by_name ~scale:0.05 Spec.Iccad2022 "case3h" in
+  (* hr+ 92, hr- 115: top cells wider than bottom on average *)
+  let sum0 = ref 0 and sum1 = ref 0 in
+  Array.iter
+    (fun c ->
+      sum0 := !sum0 + c.Tdf_netlist.Cell.widths.(0);
+      sum1 := !sum1 + c.Tdf_netlist.Cell.widths.(1))
+    d.Design.cells;
+  Alcotest.(check bool) "top wider (area conservation)" true (!sum1 > !sum0)
+
+let suite =
+  [
+    Alcotest.test_case "spec tables" `Quick test_spec_tables;
+    Alcotest.test_case "spec scaled" `Quick test_spec_scaled;
+    Alcotest.test_case "generated matches spec" `Quick test_generated_matches_spec;
+    Alcotest.test_case "generated valid" `Quick test_generated_valid;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "cases differ" `Quick test_cases_differ;
+    Alcotest.test_case "feasible utilization" `Slow test_feasible_utilization;
+    Alcotest.test_case "balanced dies" `Quick test_balanced_dies;
+    Alcotest.test_case "creates overflow" `Quick test_creates_overflow;
+    Alcotest.test_case "hetero widths" `Quick test_hetero_widths;
+  ]

@@ -1,0 +1,128 @@
+module T = Tdf_bonding.Terminal
+module Design = Tdf_netlist.Design
+module Placement = Tdf_netlist.Placement
+module Net = Tdf_netlist.Net
+
+let design_with_cut_nets () =
+  let cells =
+    [|
+      Fixtures.cell ~id:0 ~x:10 ~y:0 ~z:0.1 ();
+      Fixtures.cell ~id:1 ~x:80 ~y:20 ~z:0.9 ();
+      Fixtures.cell ~id:2 ~x:20 ~y:10 ~z:0.1 ();
+      Fixtures.cell ~id:3 ~x:30 ~y:10 ~z:0.2 ();
+    |]
+  in
+  let nets =
+    [|
+      Net.make ~id:0 ~pins:[| 0; 1 |] ();  (* cut: dies 0 and 1 *)
+      Net.make ~id:1 ~pins:[| 2; 3 |] ();  (* uncut: both die 0 *)
+      Net.make ~id:2 ~pins:[| 1; 2 |] ();  (* cut *)
+    |]
+  in
+  Design.make ~name:"bond" ~dies:(Fixtures.two_dies ()) ~cells ~nets ()
+
+let test_grid_geometry () =
+  let d = design_with_cut_nets () in
+  let g = T.make_grid d ~size:4 ~spacing:6 in
+  Alcotest.(check int) "pitch" 10 g.T.pitch;
+  Alcotest.(check int) "nx" 10 g.T.nx;
+  Alcotest.(check int) "ny" 4 g.T.ny;
+  let x, y = T.slot_center g (0, 0) in
+  Alcotest.(check (pair int int)) "slot (0,0) center" (2, 2) (x, y);
+  let x, y = T.slot_center g (3, 2) in
+  Alcotest.(check (pair int int)) "slot (3,2) center" (32, 22) (x, y)
+
+let test_cut_nets () =
+  let d = design_with_cut_nets () in
+  let p = Placement.initial d in
+  Alcotest.(check (list int)) "nets 0 and 2 are cut" [ 0; 2 ] (T.cut_nets d p)
+
+let test_assign_valid () =
+  let d = design_with_cut_nets () in
+  let p = Placement.initial d in
+  let g = T.make_grid d ~size:4 ~spacing:6 in
+  let a = T.assign d p g in
+  Alcotest.(check int) "one terminal per cut net" 2 (List.length a.T.terminals);
+  (match T.check d g a with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "cost non-negative" true (a.T.total_cost >= 0)
+
+let test_assign_prefers_inside_bbox () =
+  let d = design_with_cut_nets () in
+  let p = Placement.initial d in
+  let g = T.make_grid d ~size:2 ~spacing:0 in
+  (* dense grid: a slot inside each net's bbox exists -> zero cost *)
+  let a = T.assign d p g in
+  Alcotest.(check int) "zero added wirelength" 0 a.T.total_cost
+
+let test_assign_distinct_under_contention () =
+  (* Many cut nets sharing one centroid must spread over distinct slots. *)
+  let cells =
+    Array.init 20 (fun id ->
+        Fixtures.cell ~id ~x:50 ~y:20 ~z:(if id mod 2 = 0 then 0.1 else 0.9) ())
+  in
+  let nets = Array.init 10 (fun id -> Net.make ~id ~pins:[| 2 * id; (2 * id) + 1 |] ()) in
+  let d = Design.make ~name:"contended" ~dies:(Fixtures.two_dies ()) ~cells ~nets () in
+  let p = Placement.initial d in
+  let g = T.make_grid d ~size:10 ~spacing:10 in
+  let a = T.assign ~candidates:3 d p g in
+  Alcotest.(check int) "all nets assigned" 10 (List.length a.T.terminals);
+  match T.check d g a with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_assign_too_many_nets () =
+  let cells =
+    Array.init 8 (fun id ->
+        Fixtures.cell ~id ~x:50 ~y:20 ~z:(if id mod 2 = 0 then 0.1 else 0.9) ())
+  in
+  let nets = Array.init 4 (fun id -> Net.make ~id ~pins:[| 2 * id; (2 * id) + 1 |] ()) in
+  let d = Design.make ~name:"tiny" ~dies:(Fixtures.two_dies ()) ~cells ~nets () in
+  let p = Placement.initial d in
+  let g = T.make_grid d ~size:90 ~spacing:60 in
+  (* 1x1 grid but 4 cut nets *)
+  Alcotest.(check bool) "grid too small" true (g.T.nx * g.T.ny < 4);
+  match T.assign d p g with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_hpwl_with_terminals () =
+  let d = design_with_cut_nets () in
+  let p = Placement.initial d in
+  let g = T.make_grid d ~size:2 ~spacing:0 in
+  let a = T.assign d p g in
+  let hp = T.hpwl_with_terminals d p g a in
+  (* must be at least the plain projected HPWL: routing through a terminal
+     can only add length *)
+  let plain = Tdf_metrics.Hpwl.of_placement d p in
+  Alcotest.(check bool) "terminal HPWL >= projected HPWL" true (hp >= plain -. 1e-6)
+
+let test_assign_deterministic () =
+  let d = design_with_cut_nets () in
+  let p = Placement.initial d in
+  let g = T.make_grid d ~size:4 ~spacing:6 in
+  let a1 = T.assign d p g and a2 = T.assign d p g in
+  Alcotest.(check bool) "same result" true (a1 = a2)
+
+let prop_assign_on_generated =
+  QCheck.Test.make ~name:"terminal assignment valid on generated cases" ~count:8
+    QCheck.(int_bound 1_000)
+    (fun seed ->
+      let d = Fixtures.random ~n:50 seed in
+      let p = (Tdf_legalizer.Flow3d.legalize d).Tdf_legalizer.Flow3d.placement in
+      let g = T.make_grid d ~size:3 ~spacing:1 in
+      let a = T.assign d p g in
+      T.check d g a = Ok ()
+      && List.length a.T.terminals = List.length (T.cut_nets d p))
+
+let suite =
+  [
+    Alcotest.test_case "grid geometry" `Quick test_grid_geometry;
+    Alcotest.test_case "cut nets" `Quick test_cut_nets;
+    Alcotest.test_case "assignment valid" `Quick test_assign_valid;
+    Alcotest.test_case "zero-cost when slot inside bbox" `Quick
+      test_assign_prefers_inside_bbox;
+    Alcotest.test_case "distinct under contention" `Quick
+      test_assign_distinct_under_contention;
+    Alcotest.test_case "too many nets fails" `Quick test_assign_too_many_nets;
+    Alcotest.test_case "hpwl with terminals" `Quick test_hpwl_with_terminals;
+    Alcotest.test_case "deterministic" `Quick test_assign_deterministic;
+    QCheck_alcotest.to_alcotest prop_assign_on_generated;
+  ]

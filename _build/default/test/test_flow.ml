@@ -1,0 +1,135 @@
+module M = Tdf_flow.Mcmf
+
+let test_single_edge () =
+  let g = M.create 2 in
+  let e = M.add_edge g ~src:0 ~dst:1 ~cap:5 ~cost:3 in
+  let flow, cost = M.min_cost_flow g ~source:0 ~sink:1 () in
+  Alcotest.(check int) "flow" 5 flow;
+  Alcotest.(check int) "cost" 15 cost;
+  Alcotest.(check int) "edge flow" 5 (M.flow_on g e)
+
+let test_two_paths_prefers_cheap () =
+  (* 0->1->3 cost 2, 0->2->3 cost 10; caps 1 each; push 2 units *)
+  let g = M.create 4 in
+  ignore (M.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:1);
+  ignore (M.add_edge g ~src:1 ~dst:3 ~cap:1 ~cost:1);
+  ignore (M.add_edge g ~src:0 ~dst:2 ~cap:1 ~cost:5);
+  ignore (M.add_edge g ~src:2 ~dst:3 ~cap:1 ~cost:5);
+  let flow, cost = M.min_cost_flow g ~source:0 ~sink:3 () in
+  Alcotest.(check int) "flow" 2 flow;
+  Alcotest.(check int) "cost" 12 cost
+
+let test_max_flow_limit () =
+  let g = M.create 2 in
+  ignore (M.add_edge g ~src:0 ~dst:1 ~cap:10 ~cost:1);
+  let flow, cost = M.min_cost_flow g ~source:0 ~sink:1 ~max_flow:4 () in
+  Alcotest.(check int) "limited flow" 4 flow;
+  Alcotest.(check int) "cost" 4 cost
+
+let test_rerouting_via_residual () =
+  (* Classic case where the second augmentation must push back on the
+     first path's residual edge. *)
+  let g = M.create 4 in
+  ignore (M.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:1);
+  ignore (M.add_edge g ~src:0 ~dst:2 ~cap:1 ~cost:2);
+  ignore (M.add_edge g ~src:1 ~dst:2 ~cap:1 ~cost:(-2));
+  ignore (M.add_edge g ~src:1 ~dst:3 ~cap:1 ~cost:4);
+  ignore (M.add_edge g ~src:2 ~dst:3 ~cap:2 ~cost:1);
+  let flow, cost = M.min_cost_flow g ~source:0 ~sink:3 () in
+  Alcotest.(check int) "max flow 2" 2 flow;
+  (* best: 0-1-2-3 (1-2+1=0) and 0-2-3 (2+1=3) => 3 *)
+  Alcotest.(check int) "optimal cost" 3 cost
+
+let test_negative_edge_costs () =
+  let g = M.create 3 in
+  ignore (M.add_edge g ~src:0 ~dst:1 ~cap:2 ~cost:(-5));
+  ignore (M.add_edge g ~src:1 ~dst:2 ~cap:2 ~cost:3);
+  let flow, cost = M.min_cost_flow g ~source:0 ~sink:2 () in
+  Alcotest.(check int) "flow" 2 flow;
+  Alcotest.(check int) "cost" (-4) cost
+
+let test_disconnected () =
+  let g = M.create 3 in
+  ignore (M.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:1);
+  let flow, cost = M.min_cost_flow g ~source:0 ~sink:2 () in
+  Alcotest.(check int) "no flow" 0 flow;
+  Alcotest.(check int) "no cost" 0 cost
+
+(* Brute-force reference: enumerate all integral flows on tiny graphs by
+   trying all combinations of per-edge flows and checking conservation. *)
+let brute_force_min_cost n edges ~source ~sink =
+  let ne = List.length edges in
+  let best_for_flow = Hashtbl.create 16 in
+  let edges = Array.of_list edges in
+  let assignment = Array.make ne 0 in
+  let rec enumerate i =
+    if i = ne then begin
+      let net = Array.make n 0 in
+      let cost = ref 0 in
+      Array.iteri
+        (fun j f ->
+          let src, dst, _, c = edges.(j) in
+          net.(src) <- net.(src) - f;
+          net.(dst) <- net.(dst) + f;
+          cost := !cost + (f * c))
+        assignment;
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if v <> source && v <> sink && net.(v) <> 0 then ok := false
+      done;
+      if !ok && net.(sink) >= 0 then begin
+        let f = net.(sink) in
+        match Hashtbl.find_opt best_for_flow f with
+        | Some c when c <= !cost -> ()
+        | _ -> Hashtbl.replace best_for_flow f !cost
+      end
+    end
+    else begin
+      let _, _, cap, _ = edges.(i) in
+      for f = 0 to cap do
+        assignment.(i) <- f;
+        enumerate (i + 1)
+      done;
+      assignment.(i) <- 0
+    end
+  in
+  enumerate 0;
+  let max_flow = Hashtbl.fold (fun f _ acc -> max f acc) best_for_flow 0 in
+  (max_flow, Hashtbl.find best_for_flow max_flow)
+
+let prop_matches_brute_force =
+  let gen =
+    QCheck.Gen.(
+      let n = 4 in
+      let edge =
+        map3
+          (fun s d (cap, cost) -> (s, d, cap, cost))
+          (int_range 0 (n - 1))
+          (int_range 0 (n - 1))
+          (pair (int_range 1 2) (int_range 0 4))
+      in
+      list_size (int_range 1 5) edge)
+  in
+  QCheck.Test.make ~name:"mcmf matches brute force on tiny graphs" ~count:100
+    (QCheck.make gen)
+    (fun edges ->
+      let edges = List.filter (fun (s, d, _, _) -> s <> d) edges in
+      let n = 4 in
+      let g = M.create n in
+      List.iter
+        (fun (src, dst, cap, cost) -> ignore (M.add_edge g ~src ~dst ~cap ~cost))
+        edges;
+      let flow, cost = M.min_cost_flow g ~source:0 ~sink:(n - 1) () in
+      let bf_flow, bf_cost = brute_force_min_cost n edges ~source:0 ~sink:(n - 1) in
+      flow = bf_flow && cost = bf_cost)
+
+let suite =
+  [
+    Alcotest.test_case "single edge" `Quick test_single_edge;
+    Alcotest.test_case "prefers cheap path" `Quick test_two_paths_prefers_cheap;
+    Alcotest.test_case "max_flow limit" `Quick test_max_flow_limit;
+    Alcotest.test_case "rerouting via residual" `Quick test_rerouting_via_residual;
+    Alcotest.test_case "negative edge costs" `Quick test_negative_edge_costs;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    QCheck_alcotest.to_alcotest prop_matches_brute_force;
+  ]

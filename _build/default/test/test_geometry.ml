@@ -1,0 +1,147 @@
+module I = Tdf_geometry.Interval
+module R = Tdf_geometry.Rect
+
+let test_interval_basics () =
+  let i = I.make 2 7 in
+  Alcotest.(check int) "length" 5 (I.length i);
+  Alcotest.(check bool) "contains lo" true (I.contains i 2);
+  Alcotest.(check bool) "excludes hi" false (I.contains i 7);
+  Alcotest.(check bool) "not empty" false (I.is_empty i);
+  Alcotest.(check bool) "empty" true (I.is_empty (I.make 3 3))
+
+let test_interval_overlap () =
+  Alcotest.(check bool) "overlap" true (I.overlaps (I.make 0 5) (I.make 4 9));
+  Alcotest.(check bool) "touching no overlap" false (I.overlaps (I.make 0 5) (I.make 5 9));
+  Alcotest.(check int) "overlap length" 1 (I.overlap_length (I.make 0 5) (I.make 4 9));
+  Alcotest.(check int) "disjoint length" 0 (I.overlap_length (I.make 0 2) (I.make 5 9))
+
+let test_interval_intersect () =
+  (match I.intersect (I.make 0 5) (I.make 3 8) with
+  | Some i ->
+    Alcotest.(check int) "lo" 3 i.I.lo;
+    Alcotest.(check int) "hi" 5 i.I.hi
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "none" true (I.intersect (I.make 0 2) (I.make 3 8) = None)
+
+let test_interval_clamp () =
+  let i = I.make 10 20 in
+  Alcotest.(check int) "below" 10 (I.clamp i 5);
+  Alcotest.(check int) "inside" 15 (I.clamp i 15);
+  Alcotest.(check int) "above (inclusive hi)" 20 (I.clamp i 99)
+
+let test_interval_subtract_middle () =
+  let parts = I.subtract (I.make 0 100) [ I.make 40 60 ] in
+  Alcotest.(check int) "two parts" 2 (List.length parts);
+  match parts with
+  | [ a; b ] ->
+    Alcotest.(check int) "a.lo" 0 a.I.lo;
+    Alcotest.(check int) "a.hi" 40 a.I.hi;
+    Alcotest.(check int) "b.lo" 60 b.I.lo;
+    Alcotest.(check int) "b.hi" 100 b.I.hi
+  | _ -> Alcotest.fail "bad structure"
+
+let test_interval_subtract_edges () =
+  Alcotest.(check int) "hole at start" 1
+    (List.length (I.subtract (I.make 0 10) [ I.make 0 4 ]));
+  Alcotest.(check int) "hole covers all" 0
+    (List.length (I.subtract (I.make 0 10) [ I.make 0 10 ]));
+  Alcotest.(check int) "no holes" 1 (List.length (I.subtract (I.make 0 10) []))
+
+let test_interval_subtract_overlapping_holes () =
+  let parts = I.subtract (I.make 0 100) [ I.make 10 30; I.make 20 50; I.make 70 80 ] in
+  match parts with
+  | [ a; b; c ] ->
+    Alcotest.(check (pair int int)) "a" (0, 10) (a.I.lo, a.I.hi);
+    Alcotest.(check (pair int int)) "b" (50, 70) (b.I.lo, b.I.hi);
+    Alcotest.(check (pair int int)) "c" (80, 100) (c.I.lo, c.I.hi)
+  | _ -> Alcotest.fail "expected 3 parts"
+
+let prop_subtract_disjoint_and_outside_holes =
+  let gen =
+    QCheck.Gen.(
+      let iv =
+        map2 (fun lo len -> I.make lo (lo + len)) (int_range 0 50) (int_range 1 30)
+      in
+      pair iv (list_size (int_range 0 5) iv))
+  in
+  QCheck.Test.make ~name:"subtract: parts disjoint, inside i, avoid holes" ~count:300
+    (QCheck.make gen)
+    (fun (i, holes) ->
+      let parts = I.subtract i holes in
+      let sorted = ref true and prev_hi = ref min_int in
+      List.iter
+        (fun p ->
+          if p.I.lo < !prev_hi then sorted := false;
+          prev_hi := p.I.hi)
+        parts;
+      !sorted
+      && List.for_all (fun p -> p.I.lo >= i.I.lo && p.I.hi <= i.I.hi && not (I.is_empty p)) parts
+      && List.for_all
+           (fun p -> List.for_all (fun h -> not (I.overlaps p h)) holes)
+           parts)
+
+let prop_subtract_preserves_uncovered_points =
+  let gen =
+    QCheck.Gen.(
+      let iv =
+        map2 (fun lo len -> I.make lo (lo + len)) (int_range 0 40) (int_range 1 20)
+      in
+      pair iv (list_size (int_range 0 4) iv))
+  in
+  QCheck.Test.make ~name:"subtract: point coverage is exact" ~count:200
+    (QCheck.make gen)
+    (fun (i, holes) ->
+      let parts = I.subtract i holes in
+      let ok = ref true in
+      for x = i.I.lo to i.I.hi - 1 do
+        let in_hole = List.exists (fun h -> I.contains h x) holes in
+        let in_part = List.exists (fun p -> I.contains p x) parts in
+        if in_part = in_hole then ok := false
+      done;
+      !ok)
+
+let test_rect_basics () =
+  let r = R.make ~x:1 ~y:2 ~w:3 ~h:4 in
+  Alcotest.(check int) "area" 12 (R.area r);
+  Alcotest.(check bool) "contains point" true (R.contains_point r 1 2);
+  Alcotest.(check bool) "excludes far corner" false (R.contains_point r 4 6)
+
+let test_rect_overlap () =
+  let a = R.make ~x:0 ~y:0 ~w:10 ~h:10 in
+  let b = R.make ~x:5 ~y:5 ~w:10 ~h:10 in
+  let c = R.make ~x:10 ~y:0 ~w:5 ~h:5 in
+  Alcotest.(check bool) "overlap" true (R.overlaps a b);
+  Alcotest.(check bool) "touching no overlap" false (R.overlaps a c);
+  Alcotest.(check int) "intersection area" 25 (R.intersection_area a b);
+  Alcotest.(check int) "disjoint area" 0 (R.intersection_area a c)
+
+let test_rect_contains_rect () =
+  let outer = R.make ~x:0 ~y:0 ~w:10 ~h:10 in
+  Alcotest.(check bool) "inside" true
+    (R.contains_rect outer (R.make ~x:2 ~y:2 ~w:3 ~h:3));
+  Alcotest.(check bool) "exact" true (R.contains_rect outer outer);
+  Alcotest.(check bool) "escaping" false
+    (R.contains_rect outer (R.make ~x:8 ~y:8 ~w:3 ~h:3))
+
+let test_manhattan () =
+  Alcotest.(check int) "distance" 7 (R.manhattan (0, 0) (3, 4));
+  Alcotest.(check int) "zero" 0 (R.manhattan (5, 5) (5, 5));
+  Alcotest.(check int) "negative coords" 10 (R.manhattan (-2, -3) (3, 2))
+
+let suite =
+  [
+    Alcotest.test_case "interval basics" `Quick test_interval_basics;
+    Alcotest.test_case "interval overlap" `Quick test_interval_overlap;
+    Alcotest.test_case "interval intersect" `Quick test_interval_intersect;
+    Alcotest.test_case "interval clamp" `Quick test_interval_clamp;
+    Alcotest.test_case "subtract middle hole" `Quick test_interval_subtract_middle;
+    Alcotest.test_case "subtract edge holes" `Quick test_interval_subtract_edges;
+    Alcotest.test_case "subtract overlapping holes" `Quick
+      test_interval_subtract_overlapping_holes;
+    QCheck_alcotest.to_alcotest prop_subtract_disjoint_and_outside_holes;
+    QCheck_alcotest.to_alcotest prop_subtract_preserves_uncovered_points;
+    Alcotest.test_case "rect basics" `Quick test_rect_basics;
+    Alcotest.test_case "rect overlap" `Quick test_rect_overlap;
+    Alcotest.test_case "rect contains rect" `Quick test_rect_contains_rect;
+    Alcotest.test_case "manhattan" `Quick test_manhattan;
+  ]

@@ -1,0 +1,134 @@
+(* End-to-end: generated ICCAD-style cases through every legalizer, checked
+   for legality and for the paper's quality ordering. *)
+
+module Util = struct
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+end
+
+module Runner = Tdf_experiments.Runner
+module Spec = Tdf_benchgen.Spec
+module Gen = Tdf_benchgen.Gen
+module Legality = Tdf_metrics.Legality
+module Displacement = Tdf_metrics.Displacement
+
+let methods_all =
+  [ Runner.Tetris; Runner.Abacus; Runner.Bonn; Runner.Ours; Runner.Ours_no_d2d ]
+
+let run_all suite case =
+  let design = Gen.generate_by_name ~scale:0.04 suite case in
+  let results =
+    List.map (fun m -> (m, Runner.legalize_with m design)) methods_all
+  in
+  (design, results)
+
+let check_all_legal (design, results) =
+  List.iter
+    (fun (m, p) ->
+      let rep = Legality.check design p in
+      if rep.Legality.n_violations <> 0 then
+        Alcotest.failf "%s produced %d violations: %s" (Runner.method_name m)
+          rep.Legality.n_violations
+          (String.concat "; " rep.Legality.messages))
+    results
+
+let test_iccad2022_all_legal () =
+  check_all_legal (run_all Spec.Iccad2022 "case3h")
+
+let test_iccad2023_all_legal () =
+  check_all_legal (run_all Spec.Iccad2023 "case2h2")
+
+let test_ours_beats_tetris () =
+  let design, results = run_all Spec.Iccad2023 "case3" in
+  let avg m =
+    (Displacement.summary design (List.assoc m results)).Displacement.avg_norm
+  in
+  Alcotest.(check bool) "ours < tetris avg" true (avg Runner.Ours < avg Runner.Tetris);
+  Alcotest.(check bool) "ours <= abacus avg" true
+    (avg Runner.Ours <= avg Runner.Abacus +. 0.05)
+
+let test_ablation_direction () =
+  let design, results = run_all Spec.Iccad2023 "case3" in
+  let summary m = Displacement.summary design (List.assoc m results) in
+  let ours = summary Runner.Ours and nod2d = summary Runner.Ours_no_d2d in
+  Alcotest.(check bool) "D2D does not hurt avg" true
+    (ours.Displacement.avg_norm <= nod2d.Displacement.avg_norm +. 0.05)
+
+let test_runner_case_result () =
+  let design = Gen.generate_by_name ~scale:0.04 Spec.Iccad2022 "case2" in
+  let r = Runner.run_case ~case:"case2" design in
+  Alcotest.(check int) "4 rows" 4 (List.length r.Runner.rows);
+  List.iter
+    (fun (row : Runner.row) ->
+      Alcotest.(check bool)
+        (Runner.method_name row.Runner.method_ ^ " legal")
+        true row.Runner.legal;
+      Alcotest.(check bool) "runtime nonneg" true (row.Runner.runtime_s >= 0.))
+    r.Runner.rows
+
+let test_tables_render () =
+  let design = Gen.generate_by_name ~scale:0.04 Spec.Iccad2022 "case2" in
+  let results = [ Runner.run_case ~case:"case2" design ] in
+  let t = Tdf_experiments.Tables.comparison ~title:"T" results in
+  Alcotest.(check bool) "has title" true (String.length t > 1 && t.[0] = 'T');
+  Alcotest.(check bool) "has average row" true
+    (String.split_on_char '\n' t |> List.exists (fun l -> String.length l >= 7 && String.sub l 0 7 = "Average"));
+  let t2 = Tdf_experiments.Tables.table2 () in
+  Alcotest.(check bool) "table2 lists case4h" true (Util.contains t2 "case4h")
+
+let test_normalized_row_ours_is_one () =
+  let design = Gen.generate_by_name ~scale:0.04 Spec.Iccad2023 "case2" in
+  let results = [ Runner.run_case ~case:"case2" design ] in
+  let norm = Tdf_experiments.Tables.normalized_row results in
+  let _, a, m, _ = List.find (fun (m, _, _, _) -> m = Runner.Ours) norm in
+  Alcotest.(check (float 1e-9)) "avg ratio 1" 1.0 a;
+  Alcotest.(check (float 1e-9)) "max ratio 1" 1.0 m
+
+let test_ablation_table () =
+  let design = Gen.generate_by_name ~scale:0.04 Spec.Iccad2023 "case2" in
+  let r =
+    Runner.run_case ~methods:[ Runner.Ours_no_d2d; Runner.Ours ] ~case:"case2"
+      design
+  in
+  let t = Tdf_experiments.Tables.ablation [ r ] in
+  Alcotest.(check bool) "renders" true (String.length t > 0)
+
+let test_fig7_renders () =
+  let design = Gen.generate_by_name ~scale:0.04 Spec.Iccad2022 "case2" in
+  let results = [ Runner.run_case ~case:"case2" design ] in
+  let f = Tdf_experiments.Figures.fig7 ~title:"F" results in
+  Alcotest.(check bool) "mentions Tetris" true (Util.contains f "Tetris");
+  let csv = Tdf_experiments.Figures.fig7_csv results in
+  Alcotest.(check bool) "csv header" true
+    (String.length csv > 5 && String.sub csv 0 4 = "case")
+
+let test_full_pipeline_via_io () =
+  (* generate -> save -> load -> legalize -> save placement -> load -> check *)
+  let d = Gen.generate_by_name ~scale:0.04 Spec.Iccad2023 "case2" in
+  let dtext = Tdf_io.Text.design_to_string d in
+  match Tdf_io.Text.read_design dtext with
+  | Error e -> Alcotest.failf "design io: %s" e
+  | Ok d' ->
+    let p = Runner.legalize_with Runner.Ours d' in
+    let ptext = Tdf_io.Text.placement_to_string d' p in
+    (match Tdf_io.Text.read_placement d' ptext with
+    | Error e -> Alcotest.failf "placement io: %s" e
+    | Ok p' ->
+      Alcotest.(check int) "legal after full loop" 0
+        (Legality.check d' p').Legality.n_violations)
+
+let suite =
+  [
+    Alcotest.test_case "iccad2022 all legal" `Slow test_iccad2022_all_legal;
+    Alcotest.test_case "iccad2023 all legal" `Slow test_iccad2023_all_legal;
+    Alcotest.test_case "ours beats tetris" `Slow test_ours_beats_tetris;
+    Alcotest.test_case "ablation direction" `Slow test_ablation_direction;
+    Alcotest.test_case "runner case result" `Quick test_runner_case_result;
+    Alcotest.test_case "tables render" `Quick test_tables_render;
+    Alcotest.test_case "normalized row" `Quick test_normalized_row_ours_is_one;
+    Alcotest.test_case "ablation table" `Quick test_ablation_table;
+    Alcotest.test_case "fig7 renders" `Quick test_fig7_renders;
+    Alcotest.test_case "pipeline via io" `Slow test_full_pipeline_via_io;
+  ]

