@@ -56,6 +56,12 @@ let micro_tests () =
         (Staged.stage (fun () ->
              let p = Tdf_netlist.Placement.copy legal in
              ignore (Tdf_refine.Refine.run ~iterations:1 d2023 p)));
+      Test.make ~name:"bonding/terminal_mcmf"
+        (Staged.stage (fun () ->
+             let grid =
+               Tdf_bonding.Terminal.make_grid d2023 ~size:2 ~spacing:2
+             in
+             ignore (Tdf_bonding.Terminal.assign d2023 legal grid)));
     ]
 
 let run_micro () =
@@ -87,6 +93,12 @@ let run_micro () =
 let () =
   Printf.printf "== 3D-Flow reproduction run (scale %.3g) ==\n\n" scale;
   if Sys.getenv_opt "TDFLOW_SKIP_MICRO" = None then run_micro ();
+  (* Aggregating telemetry sink over the reproduction run proper (the
+     micro-benchmarks above stay uninstrumented so their timings are not
+     perturbed); flushed to BENCH_telemetry.json at the end so the perf
+     trajectory is machine-readable. *)
+  let telemetry = Tdf_telemetry.Aggregate.create () in
+  Tdf_telemetry.install (Tdf_telemetry.Aggregate.sink telemetry);
   print_string (Tdf_experiments.Tables.table2 ~scale ());
   print_newline ();
   let r2022 = Tdf_experiments.Runner.run_suite ~scale Tdf_benchgen.Spec.Iccad2022 in
@@ -148,4 +160,30 @@ let () =
       (Tdf_experiments.Ablations.render
          ~title:"Ablation: cycle-canceling post-optimization rounds (§III-E)"
          (Tdf_experiments.Ablations.sweep_post_opt design))
-  end
+  end;
+  (* One bonding-terminal assignment exercises the MCMF substrate so its
+     counters (augmentations, Dijkstra pops, relaxations) appear in the
+     telemetry dump alongside the legalizer phases. *)
+  let d_bond =
+    Tdf_benchgen.Gen.generate_by_name ~scale:0.02 Tdf_benchgen.Spec.Iccad2023
+      "case2"
+  in
+  let legal_bond =
+    (Tdf_legalizer.Flow3d.legalize d_bond).Tdf_legalizer.Flow3d.placement
+  in
+  let tgrid = Tdf_bonding.Terminal.make_grid d_bond ~size:2 ~spacing:2 in
+  ignore (Tdf_bonding.Terminal.assign d_bond legal_bond tgrid);
+  let json =
+    Tdf_telemetry.Json.Obj
+      [
+        ("scale", Tdf_telemetry.Json.Float scale);
+        ("generated_by", Tdf_telemetry.Json.String "bench/main.ml");
+        ("telemetry", Tdf_telemetry.Aggregate.to_json telemetry);
+      ]
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc (Tdf_telemetry.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "Telemetry (per-phase wall times, counters) written to \
+                 BENCH_telemetry.json\n"

@@ -13,6 +13,99 @@ let design_arg =
   let doc = "Design file (tdflow text format, see lib/io/text.ml)." in
   Arg.(required & opt (some file) None & info [ "d"; "design" ] ~docv:"FILE" ~doc)
 
+(* ---- telemetry ----------------------------------------------------- *)
+
+type telemetry_opts = {
+  metrics : bool;
+  metrics_json : string option;
+  trace : string option;
+}
+
+let telemetry_term =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print a per-phase telemetry summary after the run: span \
+             count/total/mean/p95, counter totals (MCMF pops, \
+             augmentations, ...).")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the telemetry summary as JSON to $(docv).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event file to $(docv); open it in \
+             Perfetto (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let combine metrics metrics_json trace = { metrics; metrics_json; trace } in
+  Term.(const combine $ metrics $ metrics_json $ trace)
+
+(* Install the sinks the flags ask for, run, then flush the outputs (also
+   on exceptions, so a failing run still leaves its trace behind). *)
+let with_telemetry opts f =
+  let agg =
+    if opts.metrics || opts.metrics_json <> None then begin
+      let a = Tdf_telemetry.Aggregate.create () in
+      Tdf_telemetry.install (Tdf_telemetry.Aggregate.sink a);
+      Some a
+    end
+    else None
+  in
+  let tr =
+    match opts.trace with
+    | Some _ ->
+      let t = Tdf_telemetry.Trace.create () in
+      Tdf_telemetry.install (Tdf_telemetry.Trace.sink t);
+      Some t
+    | None -> None
+  in
+  let write_failed = ref false in
+  (* A bad output path must not surface as Fun.Finally_raised: report it
+     like any other CLI error and fail after the run's results printed. *)
+  let try_write what path write =
+    try
+      write ();
+      Printf.printf "wrote %s %s\n" what path
+    with Sys_error msg ->
+      write_failed := true;
+      Printf.eprintf "legalize: cannot write %s: %s\n" what msg
+  in
+  Fun.protect f ~finally:(fun () ->
+      Tdf_telemetry.reset ();
+      Option.iter
+        (fun a ->
+          if opts.metrics then begin
+            print_newline ();
+            print_string (Tdf_telemetry.Aggregate.render a)
+          end;
+          Option.iter
+            (fun path ->
+              try_write "metrics" path (fun () ->
+                  let oc = open_out path in
+                  output_string oc
+                    (Tdf_telemetry.Json.to_string (Tdf_telemetry.Aggregate.to_json a));
+                  output_char oc '\n';
+                  close_out oc))
+            opts.metrics_json)
+        agg;
+      Option.iter
+        (fun t ->
+          Option.iter
+            (fun path -> try_write "trace" path (fun () -> Tdf_telemetry.Trace.save t path))
+            opts.trace)
+        tr);
+  if !write_failed then exit 1
+
 (* Designs load from either the native text format or the contest dialect;
    the first keyword disambiguates. *)
 let load_design path =
@@ -161,7 +254,8 @@ let run_cmd =
       & info [ "refine" ]
           ~doc:"Run the legality-preserving HPWL refinement afterwards.")
   in
-  let run design_path meth output alpha refine =
+  let run design_path meth output alpha refine tele =
+    with_telemetry tele @@ fun () ->
     let design = load_design design_path in
     let p, dt =
       Tdf_util.Timer.time (fun () ->
@@ -191,7 +285,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Legalize a design with one method.")
-    Term.(const run $ design_arg $ meth $ output $ alpha $ refine)
+    Term.(const run $ design_arg $ meth $ output $ alpha $ refine $ telemetry_term)
 
 (* ---- check -------------------------------------------------------- *)
 
@@ -221,7 +315,8 @@ let check_cmd =
 (* ---- compare ------------------------------------------------------ *)
 
 let compare_cmd =
-  let run design_path =
+  let run design_path tele =
+    with_telemetry tele @@ fun () ->
     let design = load_design design_path in
     let r =
       Tdf_experiments.Runner.run_case ~case:design.Tdf_netlist.Design.name design
@@ -231,7 +326,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every legalizer on a design and tabulate.")
-    Term.(const run $ design_arg)
+    Term.(const run $ design_arg $ telemetry_term)
 
 (* ---- tables ------------------------------------------------------- *)
 
@@ -241,7 +336,8 @@ let tables_cmd =
       value & opt string "all"
       & info [ "t"; "table" ] ~docv:"N" ~doc:"Which item: 2, 3, 4, 5, 7, scaling or all.")
   in
-  let run which scale =
+  let run which scale tele =
+    with_telemetry tele @@ fun () ->
     let t2 () = print_string (Tdf_experiments.Tables.table2 ~scale ()) in
     let suite s = Tdf_experiments.Runner.run_suite ~scale s in
     let t3 () =
@@ -295,7 +391,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables and Fig. 7.")
-    Term.(const run $ which $ scale_arg)
+    Term.(const run $ which $ scale_arg $ telemetry_term)
 
 (* ---- viz ---------------------------------------------------------- *)
 

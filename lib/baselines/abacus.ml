@@ -47,6 +47,7 @@ let try_die design space states cell ~die ~best =
         | _ -> best := Some (cost, si)))
 
 let legalize design =
+  Tdf_telemetry.span "baseline.abacus" @@ fun () ->
   let p = Placement.initial design in
   let space = Rowspace.build design in
   let states =

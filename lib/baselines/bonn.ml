@@ -2,7 +2,10 @@ module Flow3d = Tdf_legalizer.Flow3d
 module Config = Tdf_legalizer.Config
 
 let legalize_with_stats design =
-  let r = Flow3d.legalize ~cfg:Config.bonn_emulation design in
+  let r =
+    Tdf_telemetry.span "baseline.bonn" @@ fun () ->
+    Flow3d.legalize ~cfg:Config.bonn_emulation design
+  in
   (r.Flow3d.placement, r.Flow3d.stats)
 
 let legalize design = fst (legalize_with_stats design)

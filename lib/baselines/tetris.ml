@@ -82,6 +82,7 @@ let try_die space frees design cell ~die ~best =
         | _ -> best := Some (cost, si, x)))
 
 let legalize design =
+  Tdf_telemetry.span "baseline.tetris" @@ fun () ->
   let p = Placement.initial design in
   let space = Rowspace.build design in
   let frees =

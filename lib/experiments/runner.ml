@@ -50,7 +50,12 @@ let legalize_with m design =
     (Flow3d.legalize ~cfg:Config.no_d2d design).Flow3d.placement
 
 let measure m design =
-  let p, runtime_s = Tdf_util.Timer.time (fun () -> legalize_with m design) in
+  let name = method_name m in
+  let p, runtime_s =
+    Tdf_util.Timer.time (fun () ->
+        Tdf_telemetry.span ("runner." ^ name) (fun () -> legalize_with m design))
+  in
+  Tdf_telemetry.observe ("runner.runtime_s." ^ name) runtime_s;
   let s = Tdf_metrics.Displacement.summary design p in
   {
     method_ = m;

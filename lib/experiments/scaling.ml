@@ -16,6 +16,7 @@ type point = {
 let run ?(scales = [ 0.02; 0.05; 0.1; 0.2 ]) suite case =
   List.map
     (fun scale ->
+      Tdf_telemetry.span "scaling.point" @@ fun () ->
       let design = Tdf_benchgen.Gen.generate_by_name ~scale suite case in
       let bins =
         Tdf_grid.Grid.n_bins

@@ -60,9 +60,12 @@ let bellman_ford t source dist =
         done
     done
   done;
+  Tdf_telemetry.count "mcmf.bellman_ford_passes" !iters;
   if !iters > t.n then invalid_arg "Mcmf: negative cycle detected"
 
 let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =
+  Tdf_telemetry.span "mcmf.min_cost_flow" @@ fun () ->
+  let pops = ref 0 and relaxations = ref 0 and augmentations = ref 0 in
   let potential = Array.make t.n 0 in
   let has_negative =
     Array.exists
@@ -92,6 +95,7 @@ let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =
       match Tdf_util.Heap.pop heap with
       | None -> ()
       | Some (d, v) ->
+        incr pops;
         let d = int_of_float d in
         if d <= dist.(v) then begin
           for i = 0 to t.sizes.(v) - 1 do
@@ -99,6 +103,7 @@ let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =
             if e.cap > 0 then begin
               let nd = dist.(v) + e.cost + potential.(v) - potential.(e.dst) in
               if nd < dist.(e.dst) then begin
+                incr relaxations;
                 dist.(e.dst) <- nd;
                 prev_v.(e.dst) <- v;
                 prev_e.(e.dst) <- i;
@@ -135,7 +140,11 @@ let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =
         end
       in
       apply sink;
+      incr augmentations;
       total_flow := !total_flow + push
     end
   done;
+  Tdf_telemetry.count "mcmf.augmentations" !augmentations;
+  Tdf_telemetry.count "mcmf.dijkstra_pops" !pops;
+  Tdf_telemetry.count "mcmf.relaxations" !relaxations;
   (!total_flow, !total_cost)

@@ -58,6 +58,7 @@ let bound cfg grid src best =
   end
 
 let search cfg grid st ~src =
+  Tdf_telemetry.span "flow3d.augment" @@ fun () ->
   st.epoch <- st.epoch + 1;
   st.pops <- 0;
   let epoch = st.epoch in
@@ -68,6 +69,7 @@ let search cfg grid st ~src =
   let sup = Float.min (Grid.supply src) (float_of_int (Grid.cap src)) in
   if sup <= 0. then None
   else begin
+    let sels = ref 0 in
     let q = Heap.create () in
     st.cost.(src.Grid.id) <- 0.;
     st.flow.(src.Grid.id) <- sup;
@@ -93,6 +95,7 @@ let search cfg grid st ~src =
                 in
                 if allowed && st.visited.(e.Grid.dst) <> epoch then begin
                   let v = grid.Grid.bins.(e.Grid.dst) in
+                  incr sels;
                   match
                     Select.select ~cur:(cached_cur_disp grid st) cfg grid ~src:u
                       ~dst:v ~kind:e.Grid.kind ~need
@@ -120,6 +123,8 @@ let search cfg grid st ~src =
         loop ()
     in
     loop ();
+    Tdf_telemetry.count "flow3d.augment.pops" st.pops;
+    if !sels > 0 then Tdf_telemetry.count "flow3d.select.calls" !sels;
     if !best_leaf < 0 then None
     else begin
       (* Walk parents leaf → root, then reverse. *)

@@ -34,6 +34,7 @@ let eps = 1e-6
 
 (* Alg. 2 lines 4-10: resolve supply bins in descending supply order. *)
 let flow_pass cfg grid =
+  Tdf_telemetry.span "flow3d.flow_pass" @@ fun () ->
   let state = Augment.create_state grid in
   let q = Heap.create () in
   let retries = Hashtbl.create 64 in
@@ -89,10 +90,14 @@ let flow_pass cfg grid =
       end
   in
   loop ();
+  Tdf_telemetry.count "flow3d.augmentations" !augmentations;
+  Tdf_telemetry.count "flow3d.failed_supplies" !failed;
+  Tdf_telemetry.count "flow3d.reliefs" !reliefs;
   (!augmentations, !expansions, !failed, !reliefs)
 
 (* §III-D: Abacus PlaceRow on every segment; writes final positions. *)
 let finalize grid (p : Placement.t) =
+  Tdf_telemetry.span "flow3d.place_row" @@ fun () ->
   let design = grid.Grid.design in
   Array.iter
     (fun (s : Grid.segment) ->
@@ -151,11 +156,15 @@ let max_disp design p =
 
 let one_pass cfg design ~bin_factor (start : Placement.t) (targets : (int * int * int) array option) =
   let bw = flow_bin_width design ~factor:bin_factor in
-  let grid = Grid.build design ~bin_width:bw in
-  (match targets with
-  | None -> Grid.assign_initial grid start
-  | Some tgts ->
-    Array.iteri (fun cell (x, y, die) -> Grid.place_cell grid ~cell ~die ~x ~y) tgts);
+  let grid =
+    Tdf_telemetry.span "flow3d.grid_build" @@ fun () ->
+    let grid = Grid.build design ~bin_width:bw in
+    (match targets with
+    | None -> Grid.assign_initial grid start
+    | Some tgts ->
+      Array.iteri (fun cell (x, y, die) -> Grid.place_cell grid ~cell ~die ~x ~y) tgts);
+    grid
+  in
   let augmentations, expansions, failed, reliefs = flow_pass cfg grid in
   let p = Placement.copy start in
   finalize grid p;
@@ -172,6 +181,7 @@ let count_d2d design (p : Placement.t) =
   !count
 
 let legalize_from ?(cfg = Config.default) design start =
+  Tdf_telemetry.span "flow3d.legalize" @@ fun () ->
   let p, aug, exp_, failed, reliefs, residual =
     one_pass cfg design ~bin_factor:cfg.Config.bin_width_factor start None
   in
@@ -184,6 +194,7 @@ let legalize_from ?(cfg = Config.default) design start =
     let continue = ref true and pass = ref 0 in
     while !continue && !pass < cfg.Config.post_opt_passes do
       incr pass;
+      Tdf_telemetry.span "flow3d.post_opt" @@ fun () ->
       match Post_opt.select_victims design !p with
       | [] -> continue := false
       | victims ->
@@ -221,6 +232,9 @@ let legalize_from ?(cfg = Config.default) design start =
         else continue := false
     done
   end;
+  Tdf_telemetry.count "flow3d.post_opt_rounds" !rounds;
+  if Tdf_telemetry.enabled () then
+    Tdf_telemetry.count "flow3d.d2d_cells" (count_d2d design !p);
   {
     placement = !p;
     stats =

@@ -4,6 +4,8 @@ let edge_kind _grid ~src ~dst =
   else Grid.D2d
 
 let apply_selection grid ~src ~dst ~kind (sel : Select.selection) =
+  if Tdf_telemetry.enabled () then
+    Tdf_telemetry.count "flow3d.mover.picks" (List.length sel.Select.picks);
   let d2d_moves = ref 0 in
   List.iter
     (fun (p : Select.pick) ->
@@ -18,9 +20,11 @@ let apply_selection grid ~src ~dst ~kind (sel : Select.selection) =
   !d2d_moves
 
 let realize cfg grid path =
+  Tdf_telemetry.span "flow3d.mover" @@ fun () ->
   let nodes = Array.of_list path in
   let n = Array.length nodes in
   let d2d_moves = ref 0 in
+  let sels = ref 0 in
   (* Backtrack: move into the leaf first, the root last, so every selection
      sees the bin contents the search saw (modulo straddling cells). *)
   for i = n - 1 downto 1 do
@@ -29,14 +33,18 @@ let realize cfg grid path =
     let kind = edge_kind grid ~src:u ~dst:v in
     let need = Float.min nodes.(i - 1).Augment.pn_need_out u.Grid.used in
     if need > 1e-9 then begin
+      incr sels;
       match Select.select cfg grid ~src:u ~dst:v ~kind ~need with
       | Some sel -> d2d_moves := !d2d_moves + apply_selection grid ~src:u ~dst:v ~kind sel
       | None ->
         (* Availability shrank below [need]; shed whatever is left. *)
+        incr sels;
         (match Select.select cfg grid ~src:u ~dst:v ~kind ~need:u.Grid.used with
         | Some sel ->
           d2d_moves := !d2d_moves + apply_selection grid ~src:u ~dst:v ~kind sel
         | None -> ())
     end
   done;
+  Tdf_telemetry.count "flow3d.mover.d2d_moves" !d2d_moves;
+  if !sels > 0 then Tdf_telemetry.count "flow3d.select.calls" !sels;
   !d2d_moves

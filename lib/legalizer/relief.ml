@@ -10,6 +10,7 @@ let util_ok cfg grid (b : Grid.bin) w =
      <= max_util
 
 let relieve cfg grid ~src =
+  Tdf_telemetry.span "flow3d.relief" @@ fun () ->
   (* Cheapest (cell, destination) pair over src's cells × bins with enough
      demand.  O(#cells(src) · #bins); only used on search dead-ends. *)
   let design = grid.Grid.design in
@@ -37,5 +38,6 @@ let relieve cfg grid ~src =
   match !best with
   | Some (_, cell, b) ->
     Grid.move_whole grid ~cell ~dst:b;
+    Tdf_telemetry.incr "flow3d.relief.moves";
     true
   | None -> false

@@ -56,6 +56,9 @@ let unit_cost ?cur cfg grid ~cell ~dst ~kind =
   let c = base +. extra in
   if cfg.Config.allow_negative_cost then c else Float.max 0. c
 
+(* Callers batch "flow3d.select.calls" counting (one flush per search /
+   realization) — a per-call [Telemetry.incr] here would emit millions of
+   counter events into trace sinks on full-size runs. *)
 let select ?cur cfg grid ~src ~dst ~kind ~need =
   if need <= 0. then Some { picks = []; freed = 0.; inflow = 0.; sel_cost = 0. }
   else begin

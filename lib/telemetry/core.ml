@@ -1,0 +1,73 @@
+module Timer = Tdf_util.Timer
+
+type event =
+  | Span of { name : string; depth : int; start_ns : int64; dur_ns : int64 }
+  | Count of { name : string; value : int }
+  | Observe of { name : string; value : float }
+
+type sink = event -> unit
+
+let null : sink = fun _ -> ()
+
+(* Registry.  [active] mirrors "at least one sink installed" so every
+   instrumentation point is a single load + branch when telemetry is off —
+   the disabled path allocates nothing and calls nothing. *)
+let sinks : sink array ref = ref [||]
+
+let active = ref false
+
+let cur_depth = ref 0
+
+let enabled () = !active
+
+let install s =
+  sinks := Array.append !sinks [| s |];
+  active := true
+
+let remove s =
+  sinks := Array.of_list (List.filter (fun s' -> s' != s) (Array.to_list !sinks));
+  if Array.length !sinks = 0 then begin
+    active := false;
+    cur_depth := 0
+  end
+
+let reset () =
+  sinks := [||];
+  active := false;
+  cur_depth := 0
+
+let emit ev =
+  let ss = !sinks in
+  for i = 0 to Array.length ss - 1 do
+    ss.(i) ev
+  done
+
+let count name value = if !active then emit (Count { name; value })
+
+let incr name = if !active then emit (Count { name; value = 1 })
+
+let observe name value = if !active then emit (Observe { name; value })
+
+let span name f =
+  if not !active then f ()
+  else begin
+    let d = !cur_depth in
+    cur_depth := d + 1;
+    let t0 = Timer.now_ns () in
+    let finish () =
+      let dur = Timer.elapsed_ns t0 in
+      cur_depth := d;
+      emit (Span { name; depth = d; start_ns = t0; dur_ns = dur })
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let with_sink s f =
+  install s;
+  Fun.protect f ~finally:(fun () -> remove s)

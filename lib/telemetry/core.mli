@@ -1,0 +1,51 @@
+(** Telemetry core: spans, counters and observations recorded against
+    pluggable sinks.
+
+    With no sink installed (the default) every probe is one load and one
+    branch — no allocation, no clock read — so instrumented hot paths cost
+    nothing in production.  Sinks receive raw {!event}s; aggregation,
+    serialization and trace export live in {!Aggregate}, {!Jsonl} and
+    {!Trace}. *)
+
+type event =
+  | Span of { name : string; depth : int; start_ns : int64; dur_ns : int64 }
+      (** Emitted when the span {e closes}, so children precede parents
+          (post-order); [start_ns]/[dur_ns] reconstruct the hierarchy. *)
+  | Count of { name : string; value : int }
+  | Observe of { name : string; value : float }
+
+type sink = event -> unit
+
+val null : sink
+(** Discards everything.  Installing it turns probes on (events are built
+    and dispatched) but has no observable effect — the inertness the test
+    suite checks. *)
+
+val enabled : unit -> bool
+(** True iff at least one sink is installed. *)
+
+val install : sink -> unit
+
+val remove : sink -> unit
+(** Remove a previously installed sink (physical equality). *)
+
+val reset : unit -> unit
+(** Remove every sink and reset span depth. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] on the monotonic clock and reports it to
+    the sinks, tagged with its nesting depth.  The span is reported even
+    if [f] raises; the exception is re-raised. *)
+
+val count : string -> int -> unit
+(** Add to a named counter. *)
+
+val incr : string -> unit
+(** [incr name] is [count name 1]. *)
+
+val observe : string -> float -> unit
+(** Record one sample of a named histogram/distribution. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Install the sink for the duration of the callback (removed even on
+    exceptions). *)

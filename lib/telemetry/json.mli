@@ -1,0 +1,33 @@
+(** Minimal dependency-free JSON: just enough for telemetry export
+    ({!Jsonl}, {!Trace}, [--metrics-json]) and for tests to parse it
+    back.  Ints and floats are kept distinct so counter totals survive a
+    round trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping.  NaN and
+    infinities — which JSON cannot represent — degrade to [null]. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset above (no comments, no trailing commas).
+    [\u] escapes are UTF-8 decoded; surrogate pairs are not combined. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing keys and non-objects. *)
+
+val to_int : t -> int option
+(** [Int] directly, or an integral [Float]. *)
+
+val to_float : t -> float option
+
+val to_str : t -> string option
+
+val to_list : t -> t list option

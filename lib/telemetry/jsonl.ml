@@ -1,0 +1,84 @@
+let event_to_json : Core.event -> Json.t = function
+  | Core.Span { name; depth; start_ns; dur_ns } ->
+    Json.Obj
+      [
+        ("type", Json.String "span");
+        ("name", Json.String name);
+        ("depth", Json.Int depth);
+        ("start_ns", Json.Int (Int64.to_int start_ns));
+        ("dur_ns", Json.Int (Int64.to_int dur_ns));
+      ]
+  | Core.Count { name; value } ->
+    Json.Obj
+      [
+        ("type", Json.String "counter");
+        ("name", Json.String name);
+        ("value", Json.Int value);
+      ]
+  | Core.Observe { name; value } ->
+    Json.Obj
+      [
+        ("type", Json.String "observe");
+        ("name", Json.String name);
+        ("value", Json.Float value);
+      ]
+
+let event_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  let flt k = Option.bind (Json.member k j) Json.to_float in
+  match (str "type", str "name") with
+  | Some "span", Some name -> (
+    match (int "depth", int "start_ns", int "dur_ns") with
+    | Some depth, Some start_ns, Some dur_ns ->
+      Ok
+        (Core.Span
+           {
+             name;
+             depth;
+             start_ns = Int64.of_int start_ns;
+             dur_ns = Int64.of_int dur_ns;
+           })
+    | _ -> Error "span event missing depth/start_ns/dur_ns")
+  | Some "counter", Some name -> (
+    match int "value" with
+    | Some value -> Ok (Core.Count { name; value })
+    | None -> Error "counter event missing value")
+  | Some "observe", Some name -> (
+    match flt "value" with
+    | Some value -> Ok (Core.Observe { name; value })
+    | None -> Error "observe event missing value")
+  | Some t, _ -> Error (Printf.sprintf "unknown event type %S" t)
+  | None, _ -> Error "event without a type field"
+
+type t = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 4096 }
+
+let sink t : Core.sink =
+ fun ev ->
+  Buffer.add_string t.buf (Json.to_string (event_to_json ev));
+  Buffer.add_char t.buf '\n'
+
+let contents t = Buffer.contents t.buf
+
+let save t path =
+  let oc = open_out path in
+  Buffer.output_buffer oc t.buf;
+  close_out oc
+
+let parse s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      match Json.of_string l with
+      | Error e -> Error (Printf.sprintf "bad JSON line %S: %s" l e)
+      | Ok j -> (
+        match event_of_json j with
+        | Error e -> Error (Printf.sprintf "bad event %S: %s" l e)
+        | Ok ev -> loop (ev :: acc) rest))
+  in
+  loop [] lines

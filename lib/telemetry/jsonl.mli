@@ -1,0 +1,21 @@
+(** JSONL event sink: one JSON object per event, in emission order —
+    the append-friendly format for post-processing with jq/python.  The
+    parser is the exact inverse of the sink, so logs round-trip. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Core.sink
+
+val contents : t -> string
+
+val save : t -> string -> unit
+
+val event_to_json : Core.event -> Json.t
+
+val event_of_json : Json.t -> (Core.event, string) result
+
+val parse : string -> (Core.event list, string) result
+(** Parse a whole JSONL document (blank lines skipped); inverse of
+    {!contents}. *)

@@ -1,0 +1,8 @@
+(* Library root: the core probe API lives directly under
+   [Tdf_telemetry]; sinks and serializers are submodules. *)
+
+include Core
+module Json = Json
+module Aggregate = Aggregate
+module Jsonl = Jsonl
+module Trace = Trace

@@ -1,4 +1,30 @@
+(* Monotonic timestamps.
+
+   OCaml's [Unix] module exposes no [clock_gettime], so CLOCK_MONOTONIC is
+   read through the bechamel stubs ([Monotonic_clock.now], a noalloc
+   external).  Should the stub report nothing (non-Linux platforms compile
+   it to a zero return), we fall back to [Unix.gettimeofday] clamped to be
+   non-decreasing — callers may rely on [now_ns] never going backwards. *)
+
+let gettimeofday_ns =
+  let last = ref 0L in
+  fun () ->
+    let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+    if Int64.compare t !last > 0 then last := t;
+    !last
+
+let monotonic_available = Monotonic_clock.now () <> 0L
+
+let now_ns () =
+  if monotonic_available then Monotonic_clock.now () else gettimeofday_ns ()
+
+let elapsed_ns t0 = Int64.sub (now_ns ()) t0
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, ns_to_s (elapsed_ns t0))

@@ -1,4 +1,23 @@
-(** Wall-clock timing for the RT columns of Tables III and IV. *)
+(** Monotonic wall-clock timing for the RT columns of Tables III and IV and
+    for the {!Tdf_telemetry} span clock. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+
+val now_ns : unit -> int64
+(** Current monotonic timestamp in nanoseconds.  The origin is arbitrary
+    (boot time on Linux); only differences are meaningful.  Guaranteed
+    non-decreasing even on the [gettimeofday] fallback path. *)
+
+val elapsed_ns : int64 -> int64
+(** [elapsed_ns t0] is [now_ns () - t0]. *)
+
+val ns_to_s : int64 -> float
+(** Nanoseconds to seconds. *)
+
+val ns_to_ms : int64 -> float
+(** Nanoseconds to milliseconds. *)
+
+val monotonic_available : bool
+(** Whether the CLOCK_MONOTONIC stub is live (as opposed to the clamped
+    [gettimeofday] fallback). *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "tdflow"
     [
       ("util", Test_util.suite);
+      ("telemetry", Test_telemetry.suite);
       ("geometry", Test_geometry.suite);
       ("netlist", Test_netlist.suite);
       ("grid", Test_grid.suite);

@@ -1,0 +1,300 @@
+module T = Tdf_telemetry
+module Json = Tdf_telemetry.Json
+module Aggregate = Tdf_telemetry.Aggregate
+module Jsonl = Tdf_telemetry.Jsonl
+module Trace = Tdf_telemetry.Trace
+
+(* Every test resets the global registry on both paths so a failure cannot
+   leak an installed sink into unrelated suites. *)
+let isolated f () = Fun.protect f ~finally:T.reset
+
+(* ---- core span / counter semantics -------------------------------- *)
+
+let spans_of evs =
+  List.filter_map
+    (function T.Span { name; depth; start_ns; dur_ns } -> Some (name, depth, start_ns, dur_ns) | _ -> None)
+    evs
+
+let test_span_nesting_ordering () =
+  let j = Jsonl.create () in
+  T.with_sink (Jsonl.sink j) (fun () ->
+      T.span "outer" (fun () ->
+          T.span "inner_a" (fun () -> ignore (Sys.opaque_identity (ref 0)));
+          T.span "inner_b" (fun () -> ())));
+  let evs =
+    match Jsonl.parse (Jsonl.contents j) with
+    | Ok evs -> evs
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  match spans_of evs with
+  | [ (na, da, sa, la); (nb, db, sb, _); (no, dp, so, lo) ] ->
+    Alcotest.(check (list string))
+      "post-order close" [ "inner_a"; "inner_b"; "outer" ] [ na; nb; no ];
+    Alcotest.(check int) "inner_a depth" 1 da;
+    Alcotest.(check int) "inner_b depth" 1 db;
+    Alcotest.(check int) "outer depth" 0 dp;
+    Alcotest.(check bool) "children start after parent" true
+      (Int64.compare sa so >= 0 && Int64.compare sb so >= 0);
+    Alcotest.(check bool) "inner_a nested in outer" true
+      (Int64.compare (Int64.add sa la) (Int64.add so lo) <= 0);
+    Alcotest.(check bool) "inner_b starts after inner_a ends" true
+      (Int64.compare sb (Int64.add sa la) >= 0)
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_span_returns_and_raises () =
+  let agg = Aggregate.create () in
+  T.with_sink (Aggregate.sink agg) (fun () ->
+      Alcotest.(check int) "span returns f's value" 42 (T.span "ret" (fun () -> 42));
+      (try T.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check int) "raising span still recorded" 1
+        (Aggregate.span_count agg "boom"));
+  Alcotest.(check int) "ret recorded" 1 (Aggregate.span_count agg "ret")
+
+let test_counter_totals () =
+  let agg = Aggregate.create () in
+  T.with_sink (Aggregate.sink agg) (fun () ->
+      T.count "edges" 3;
+      T.count "edges" 4;
+      T.incr "edges";
+      T.incr "other");
+  Alcotest.(check int) "summed" 8 (Aggregate.counter_total agg "edges");
+  Alcotest.(check int) "other" 1 (Aggregate.counter_total agg "other");
+  Alcotest.(check int) "unseen is 0" 0 (Aggregate.counter_total agg "nope")
+
+let test_disabled_and_null_inert () =
+  T.reset ();
+  Alcotest.(check bool) "disabled by default" false (T.enabled ());
+  Alcotest.(check int) "span passes through when disabled" 7
+    (T.span "ghost" (fun () -> 7));
+  T.count "ghost" 5;
+  T.observe "ghost" 1.0;
+  (* The null sink turns probes on but discards everything, and behavior
+     under it is unchanged. *)
+  let r = T.with_sink T.null (fun () ->
+      Alcotest.(check bool) "enabled under null" true (T.enabled ());
+      T.count "ghost" 5;
+      T.span "ghost" (fun () -> 11))
+  in
+  Alcotest.(check int) "value preserved under null" 11 r;
+  Alcotest.(check bool) "disabled after with_sink" false (T.enabled ());
+  (* Nothing leaked anywhere observable: a fresh aggregate sees no ghosts. *)
+  let agg = Aggregate.create () in
+  T.with_sink (Aggregate.sink agg) (fun () -> ());
+  Alcotest.(check int) "no ghost spans" 0 (Aggregate.span_count agg "ghost");
+  Alcotest.(check int) "no ghost counters" 0 (Aggregate.counter_total agg "ghost")
+
+let test_multiple_sinks () =
+  let a1 = Aggregate.create () and a2 = Aggregate.create () in
+  T.install (Aggregate.sink a1);
+  T.install (Aggregate.sink a2);
+  T.incr "x";
+  T.reset ();
+  Alcotest.(check int) "sink 1 saw it" 1 (Aggregate.counter_total a1 "x");
+  Alcotest.(check int) "sink 2 saw it" 1 (Aggregate.counter_total a2 "x");
+  T.incr "x";
+  Alcotest.(check int) "nothing after reset" 1 (Aggregate.counter_total a1 "x")
+
+(* ---- JSONL round-trip ---------------------------------------------- *)
+
+let test_jsonl_round_trip () =
+  let j = Jsonl.create () in
+  let recorded = ref [] in
+  let recorder ev = recorded := ev :: !recorded in
+  T.install (Jsonl.sink j);
+  T.install recorder;
+  T.span "s\"needs escaping\\" (fun () -> T.count "c" 3);
+  T.observe "h" 2.5;
+  T.observe "h" 0.125;
+  T.reset ();
+  let expected = List.rev !recorded in
+  (match Jsonl.parse (Jsonl.contents j) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok evs ->
+    Alcotest.(check int) "event count" (List.length expected) (List.length evs);
+    Alcotest.(check bool) "events round-trip exactly" true (evs = expected));
+  (* serialize → parse → serialize is a fixed point *)
+  let reserialized =
+    match Jsonl.parse (Jsonl.contents j) with
+    | Ok evs ->
+      String.concat ""
+        (List.map (fun e -> Json.to_string (Jsonl.event_to_json e) ^ "\n") evs)
+    | Error e -> Alcotest.failf "reparse failed: %s" e
+  in
+  Alcotest.(check string) "fixed point" (Jsonl.contents j) reserialized
+
+(* ---- Chrome trace export ------------------------------------------- *)
+
+let test_trace_golden () =
+  let tr = Trace.create () in
+  T.with_sink (Trace.sink tr) (fun () ->
+      T.span "phase.flow" (fun () ->
+          T.span "phase.augment" (fun () -> ());
+          T.count "pops" 12);
+      T.observe "runtime_s" 0.5);
+  let s = Trace.to_string tr in
+  let json =
+    match Json.of_string s with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "trace is not well-formed JSON: %s" e
+  in
+  let events =
+    match Option.bind (Json.member "traceEvents" json) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let field k j = Option.bind (Json.member k j) Json.to_str in
+  let names = List.filter_map (field "name") events in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+    [ "process_name"; "phase.flow"; "phase.augment"; "pops"; "runtime_s" ];
+  (* span events are complete ("X") events with numeric ts/dur *)
+  let xs =
+    List.filter (fun e -> field "ph" e = Some "X") events
+  in
+  Alcotest.(check int) "two X events" 2 (List.length xs);
+  List.iter
+    (fun e ->
+      let num k = Option.bind (Json.member k e) Json.to_float in
+      Alcotest.(check bool) "ts >= 0" true (Option.get (num "ts") >= 0.);
+      Alcotest.(check bool) "dur >= 0" true (Option.get (num "dur") >= 0.))
+    xs;
+  (* the nested span closes first, so it serializes before its parent *)
+  (match List.filter_map (field "name") xs with
+  | [ a; b ] ->
+    Alcotest.(check string) "child first" "phase.augment" a;
+    Alcotest.(check string) "parent second" "phase.flow" b
+  | _ -> Alcotest.fail "expected exactly two span names");
+  (* counter event carries the cumulative value *)
+  let c = List.find (fun e -> field "ph" e = Some "C" && field "name" e = Some "pops") events in
+  let v =
+    Option.bind (Json.member "args" c) (fun a ->
+        Option.bind (Json.member "value" a) Json.to_int)
+  in
+  Alcotest.(check (option int)) "cumulative counter" (Some 12) v
+
+(* ---- aggregate rendering / JSON ------------------------------------ *)
+
+let test_aggregate_summary () =
+  let agg = Aggregate.create () in
+  T.with_sink (Aggregate.sink agg) (fun () ->
+      for _ = 1 to 10 do
+        T.span "work" (fun () -> ignore (Sys.opaque_identity (Array.make 64 0)))
+      done;
+      T.count "items" 100;
+      T.observe "disp" 1.5;
+      T.observe "disp" 2.5);
+  let row = Aggregate.span_row agg "work" in
+  Alcotest.(check int) "count" 10 row.Aggregate.count;
+  Alcotest.(check bool) "total >= mean" true (row.Aggregate.total_ms >= row.Aggregate.mean_ms);
+  Alcotest.(check bool) "p99 >= p50" true (row.Aggregate.p99_ms >= row.Aggregate.p50_ms);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let rendered = Aggregate.render agg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in table") true (contains rendered needle))
+    [ "work"; "items"; "disp"; "p95" ];
+  let json = Aggregate.to_json agg in
+  let count =
+    Option.bind (Json.member "spans" json) (fun s ->
+        Option.bind (Json.member "work" s) (fun w ->
+            Option.bind (Json.member "count" w) Json.to_int))
+  in
+  Alcotest.(check (option int)) "json span count" (Some 10) count;
+  let hist_count =
+    Option.bind (Json.member "histograms" json) (fun h ->
+        Option.bind (Json.member "disp" h) (fun d ->
+            Option.bind (Json.member "count" d) Json.to_int))
+  in
+  Alcotest.(check (option int)) "json histogram count" (Some 2) hist_count
+
+(* ---- Json mini-library --------------------------------------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a \"quoted\" \\ line\nwith\ttabs");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round trip" true (v = v')
+  | Error e -> Alcotest.failf "round trip failed: %s" e);
+  (match Json.of_string "{\"a\": [1, 2.5, \"x\", null, true]}" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "vanilla parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted bad JSON %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "\"unterminated"; "{\"a\" 1}"; "nulll"; "" ]
+
+(* ---- end-to-end: instrumented legalizer ----------------------------- *)
+
+let test_flow3d_instrumented () =
+  let design = Fixtures.random 3 in
+  (* telemetry must not perturb results: same placement with and without *)
+  let base = (Tdf_legalizer.Flow3d.legalize design).Tdf_legalizer.Flow3d.placement in
+  let agg = Aggregate.create () in
+  let p =
+    T.with_sink (Aggregate.sink agg) (fun () ->
+        (Tdf_legalizer.Flow3d.legalize design).Tdf_legalizer.Flow3d.placement)
+  in
+  Alcotest.(check bool) "identical placement under telemetry" true
+    (base.Tdf_netlist.Placement.x = p.Tdf_netlist.Placement.x
+    && base.Tdf_netlist.Placement.y = p.Tdf_netlist.Placement.y
+    && base.Tdf_netlist.Placement.die = p.Tdf_netlist.Placement.die);
+  Alcotest.(check int) "one legalize span" 1
+    (Aggregate.span_count agg "flow3d.legalize");
+  Alcotest.(check bool) "flow_pass recorded" true
+    (Aggregate.span_count agg "flow3d.flow_pass" >= 1);
+  Alcotest.(check bool) "place_row recorded" true
+    (Aggregate.span_count agg "flow3d.place_row" >= 1);
+  Alcotest.(check bool) "augmentation counter present" true
+    (List.mem "flow3d.augmentations" (Aggregate.counter_names agg))
+
+let test_mcmf_instrumented () =
+  let agg = Aggregate.create () in
+  T.with_sink (Aggregate.sink agg) (fun () ->
+      let g = Tdf_flow.Mcmf.create 4 in
+      ignore (Tdf_flow.Mcmf.add_edge g ~src:0 ~dst:1 ~cap:2 ~cost:1);
+      ignore (Tdf_flow.Mcmf.add_edge g ~src:1 ~dst:3 ~cap:2 ~cost:1);
+      ignore (Tdf_flow.Mcmf.add_edge g ~src:0 ~dst:2 ~cap:1 ~cost:3);
+      ignore (Tdf_flow.Mcmf.add_edge g ~src:2 ~dst:3 ~cap:1 ~cost:3);
+      let flow, _cost = Tdf_flow.Mcmf.min_cost_flow g ~source:0 ~sink:3 () in
+      Alcotest.(check int) "flow" 3 flow);
+  Alcotest.(check int) "solver span" 1
+    (Aggregate.span_count agg "mcmf.min_cost_flow");
+  Alcotest.(check bool) "augmentations counted" true
+    (Aggregate.counter_total agg "mcmf.augmentations" >= 2);
+  Alcotest.(check bool) "pops counted" true
+    (Aggregate.counter_total agg "mcmf.dijkstra_pops" > 0)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick
+      (isolated test_span_nesting_ordering);
+    Alcotest.test_case "span returns and raises" `Quick
+      (isolated test_span_returns_and_raises);
+    Alcotest.test_case "counter totals" `Quick (isolated test_counter_totals);
+    Alcotest.test_case "disabled and null sink inert" `Quick
+      (isolated test_disabled_and_null_inert);
+    Alcotest.test_case "multiple sinks" `Quick (isolated test_multiple_sinks);
+    Alcotest.test_case "jsonl round trip" `Quick (isolated test_jsonl_round_trip);
+    Alcotest.test_case "chrome trace golden" `Quick (isolated test_trace_golden);
+    Alcotest.test_case "aggregate summary" `Quick (isolated test_aggregate_summary);
+    Alcotest.test_case "json round trip" `Quick (isolated test_json_round_trip);
+    Alcotest.test_case "flow3d instrumented" `Quick
+      (isolated test_flow3d_instrumented);
+    Alcotest.test_case "mcmf instrumented" `Quick (isolated test_mcmf_instrumented);
+  ]

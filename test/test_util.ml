@@ -140,6 +140,28 @@ let test_timer () =
   Alcotest.(check int) "result" 42 x;
   Alcotest.(check bool) "non-negative" true (dt >= 0.)
 
+let test_timer_monotonic () =
+  let module Timer = Tdf_util.Timer in
+  let prev = ref (Timer.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Timer.now_ns () in
+    Alcotest.(check bool) "now_ns never goes backwards" true
+      (Int64.compare t !prev >= 0);
+    prev := t
+  done;
+  Alcotest.(check bool) "elapsed_ns non-negative" true
+    (Int64.compare (Timer.elapsed_ns !prev) 0L >= 0)
+
+let test_timer_conversions () =
+  let module Timer = Tdf_util.Timer in
+  Alcotest.(check (float 1e-9)) "ns_to_s" 1.5 (Timer.ns_to_s 1_500_000_000L);
+  Alcotest.(check (float 1e-9)) "ns_to_ms" 2.25 (Timer.ns_to_ms 2_250_000L);
+  (* a real sleep must register on the monotonic clock *)
+  let t0 = Timer.now_ns () in
+  Unix.sleepf 0.01;
+  let dt = Timer.ns_to_s (Timer.elapsed_ns t0) in
+  Alcotest.(check bool) "sleep measured" true (dt >= 0.009 && dt < 5.)
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -160,4 +182,6 @@ let suite =
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
     Alcotest.test_case "timer" `Quick test_timer;
+    Alcotest.test_case "timer monotonic" `Quick test_timer_monotonic;
+    Alcotest.test_case "timer conversions" `Quick test_timer_conversions;
   ]
