@@ -106,9 +106,25 @@ let with_telemetry opts f =
         tr);
   if !write_failed then exit 1
 
+(* Parser errors carry "line N: ..."; rewrite them into the conventional
+   file:line: message shape so editors and CI logs can jump to the spot. *)
+let parse_diagnostic path msg =
+  let default () = Printf.sprintf "%s: %s" path msg in
+  if String.length msg > 5 && String.sub msg 0 5 = "line " then
+    match String.index_opt msg ':' with
+    | Some i -> (
+      match int_of_string_opt (String.sub msg 5 (i - 5)) with
+      | Some n ->
+        Printf.sprintf "%s:%d:%s" path n
+          (String.sub msg (i + 1) (String.length msg - i - 1))
+      | None -> default ())
+    | None -> default ()
+  else default ()
+
 (* Designs load from either the native text format or the contest dialect;
    the first keyword disambiguates. *)
 let load_design path =
+  try
   let is_contest =
     (* first non-empty, non-comment keyword decides the dialect *)
     let ic = open_in path in
@@ -136,14 +152,17 @@ let load_design path =
   match result with
   | Ok d -> d
   | Error e ->
-    Printf.eprintf "error: cannot load design %s: %s\n" path e;
+    Printf.eprintf "legalize: %s\n" (parse_diagnostic path e);
+    exit 2
+  with Sys_error msg ->
+    Printf.eprintf "legalize: %s\n" msg;
     exit 2
 
 let load_placement design path =
   match Tdf_io.Text.load_placement path design with
   | Ok p -> p
   | Error e ->
-    Printf.eprintf "error: cannot load placement %s: %s\n" path e;
+    Printf.eprintf "legalize: %s\n" (parse_diagnostic path e);
     exit 2
 
 let suite_conv =
@@ -254,38 +273,129 @@ let run_cmd =
       & info [ "refine" ]
           ~doc:"Run the legality-preserving HPWL refinement afterwards.")
   in
-  let run design_path meth output alpha refine tele =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Treat preflight warnings as fatal: refuse to legalize a \
+                design with any diagnostic.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:"Auto-repair recoverable preflight issues (clamp positions, \
+                drop degenerate nets and escaping macros) before \
+                legalizing; each repair is reported.")
+  in
+  let budget_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock budget per legalization attempt.  An exhausted \
+                budget yields a best-effort partial placement (and, unless \
+                $(b,--no-fallback), triggers the retry/fallback chain).")
+  in
+  let no_fallback =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:"Disable the resilience chain (relaxed-config retry, then \
+                Tetris degradation) for method `ours'; a failed run \
+                reports its error instead.")
+  in
+  let run design_path meth output alpha refine strict repair budget_ms
+      no_fallback tele =
     with_telemetry tele @@ fun () ->
     let design = load_design design_path in
-    let p, dt =
-      Tdf_util.Timer.time (fun () ->
-          match (meth, alpha) with
-          | Tdf_experiments.Runner.Ours, Some a ->
-            (Tdf_legalizer.Flow3d.legalize
-               ~cfg:{ Tdf_legalizer.Config.default with Tdf_legalizer.Config.alpha = a }
-               design)
-              .Tdf_legalizer.Flow3d.placement
-          | m, _ -> Tdf_experiments.Runner.legalize_with m design)
+    let cfg =
+      match alpha with
+      | Some a ->
+        { Tdf_legalizer.Config.default with Tdf_legalizer.Config.alpha = a }
+      | None -> Tdf_legalizer.Config.default
     in
-    let s = Tdf_metrics.Displacement.summary design p in
-    Printf.printf "%s: avg %.3f rows, max %.2f rows, hpwl %+.2f%%, %.2fs, legal %b\n"
-      (Tdf_experiments.Runner.method_name meth)
-      s.Tdf_metrics.Displacement.avg_norm s.Tdf_metrics.Displacement.max_norm
-      (Tdf_metrics.Hpwl.increase_pct design p)
-      dt
-      (Tdf_metrics.Legality.is_legal design p);
-    if refine then begin
-      let r = Tdf_refine.Refine.run design p in
-      Printf.printf "refine: HPWL %.0f -> %.0f (%d moves), legal %b\n"
-        r.Tdf_refine.Refine.hpwl_before r.Tdf_refine.Refine.hpwl_after
-        (r.Tdf_refine.Refine.slides + r.Tdf_refine.Refine.swaps)
+    let opts =
+      { Tdf_robust.Pipeline.strict; repair; budget_ms;
+        fallback = not no_fallback }
+    in
+    let finish design p dt extra =
+      let s = Tdf_metrics.Displacement.summary design p in
+      Printf.printf
+        "%s: avg %.3f rows, max %.2f rows, hpwl %+.2f%%, %.2fs, legal %b%s\n"
+        (Tdf_experiments.Runner.method_name meth)
+        s.Tdf_metrics.Displacement.avg_norm s.Tdf_metrics.Displacement.max_norm
+        (Tdf_metrics.Hpwl.increase_pct design p)
+        dt
         (Tdf_metrics.Legality.is_legal design p)
-    end;
-    Option.iter (fun path -> Tdf_io.Text.save_placement path design p) output
+        extra;
+      if refine then begin
+        let r = Tdf_refine.Refine.run design p in
+        Printf.printf "refine: HPWL %.0f -> %.0f (%d moves), legal %b\n"
+          r.Tdf_refine.Refine.hpwl_before r.Tdf_refine.Refine.hpwl_after
+          (r.Tdf_refine.Refine.slides + r.Tdf_refine.Refine.swaps)
+          (Tdf_metrics.Legality.is_legal design p)
+      end;
+      Option.iter (fun path -> Tdf_io.Text.save_placement path design p) output
+    in
+    match meth with
+    | Tdf_experiments.Runner.Ours ->
+      (* The paper's method runs through the resilient pipeline: preflight,
+         budgets, retry, Tetris fallback. *)
+      let result, dt =
+        Tdf_util.Timer.time (fun () ->
+            Tdf_robust.Pipeline.run ~opts ~cfg design)
+      in
+      (match result with
+      | Error e ->
+        Printf.eprintf "legalize: %s\n" (Tdf_robust.Error.to_string e);
+        exit 1
+      | Ok r ->
+        List.iter
+          (fun i ->
+            Printf.eprintf "preflight: %s\n"
+              (Tdf_robust.Validate.issue_to_string i))
+          r.Tdf_robust.Pipeline.issues;
+        List.iter
+          (fun msg -> Printf.eprintf "repair: %s\n" msg)
+          r.Tdf_robust.Pipeline.repairs;
+        let extra =
+          match r.Tdf_robust.Pipeline.path with
+          | Tdf_robust.Pipeline.Primary -> ""
+          | p ->
+            Printf.sprintf ", via %s (%d attempts)"
+              (Tdf_robust.Pipeline.path_name p)
+              r.Tdf_robust.Pipeline.attempts
+        in
+        finish r.Tdf_robust.Pipeline.design r.Tdf_robust.Pipeline.placement dt
+          extra)
+    | m ->
+      (* Baselines skip the fallback chain but honor the preflight flags. *)
+      let design, repairs =
+        if repair then Tdf_robust.Validate.repair design else (design, [])
+      in
+      List.iter (fun msg -> Printf.eprintf "repair: %s\n" msg) repairs;
+      let issues = Tdf_robust.Validate.design design in
+      let blocking =
+        if strict then issues else Tdf_robust.Validate.fatal issues
+      in
+      (match blocking with
+      | i :: _ ->
+        Printf.eprintf "legalize: preflight: %s\n"
+          (Tdf_robust.Validate.issue_to_string i);
+        exit 1
+      | [] -> ());
+      let p, dt =
+        Tdf_util.Timer.time (fun () ->
+            Tdf_experiments.Runner.legalize_with m design)
+      in
+      finish design p dt ""
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Legalize a design with one method.")
-    Term.(const run $ design_arg $ meth $ output $ alpha $ refine $ telemetry_term)
+    Term.(
+      const run $ design_arg $ meth $ output $ alpha $ refine $ strict
+      $ repair $ budget_ms $ no_fallback $ telemetry_term)
 
 (* ---- check -------------------------------------------------------- *)
 

@@ -54,7 +54,7 @@ let () =
   let bw = Flow3d.flow_bin_width design ~factor:10. in
   let g = Tdf_grid.Grid.build design ~bin_width:bw in
   for c = 0 to Design.n_cells design - 1 do
-    Tdf_grid.Grid.place_cell g ~cell:c ~die:p.Tdf_netlist.Placement.die.(c)
+    Tdf_grid.Grid.place_cell_exn g ~cell:c ~die:p.Tdf_netlist.Placement.die.(c)
       ~x:p.Tdf_netlist.Placement.x.(c) ~y:p.Tdf_netlist.Placement.y.(c)
   done;
   Printf.printf "  final utilization: bottom %.1f%%, top %.1f%%\n"

@@ -72,6 +72,18 @@ type assignment = {
   total_cost : int;
 }
 
+type error =
+  | Insufficient_slots of { nets : int; slots : int }
+  | No_free_slot of { net : int }
+
+let error_to_string = function
+  | Insufficient_slots { nets; slots } ->
+    Printf.sprintf "Terminal.assign: %d cut nets but only %d slots" nets slots
+  | No_free_slot { net } ->
+    Printf.sprintf "Terminal.assign: no free slot reachable for net %d" net
+
+exception Assign_error of error
+
 let clamp v lo hi = max lo (min hi v)
 
 (* Slots of the square ring at Chebyshev radius r around (ci, cj), clipped
@@ -118,15 +130,16 @@ let candidates_of design p g (n : Net.t) k =
   done;
   List.sort (fun (_, a) (_, b) -> compare a b) !found
 
-let assign ?(candidates = 24) design p g =
-  let nets =
-    cut_nets design p |> List.map (fun id -> design.Design.nets.(id))
-  in
-  let n_nets = List.length nets in
-  if n_nets > g.nx * g.ny then
-    failwith
-      (Printf.sprintf "Terminal.assign: %d cut nets but only %d slots" n_nets
-         (g.nx * g.ny));
+let assign_result ?(candidates = 24) design p g =
+  try
+    let nets =
+      cut_nets design p |> List.map (fun id -> design.Design.nets.(id))
+    in
+    let n_nets = List.length nets in
+    if n_nets > g.nx * g.ny then
+      raise
+        (Assign_error
+           (Insufficient_slots { nets = n_nets; slots = g.nx * g.ny }));
   (* Restricted assignment problem on the k-nearest candidates. *)
   let slot_vertex = Hashtbl.create (4 * n_nets) in
   let slot_of_vertex = Hashtbl.create (4 * n_nets) in
@@ -193,7 +206,7 @@ let assign ?(candidates = 24) design p g =
       let home = nearest_slot_of_point g ((min_x + max_x) / 2, (min_y + max_y) / 2) in
       let rec hunt r =
         if r > g.nx + g.ny then
-          failwith "Terminal.assign: no free slot reachable"
+          raise (Assign_error (No_free_slot { net = n.Net.id }))
         else begin
           let free =
             ring g home r
@@ -211,10 +224,17 @@ let assign ?(candidates = 24) design p g =
       in
       hunt 0)
     !unassigned;
-  {
-    terminals = List.sort (fun (a, _) (b, _) -> compare a b) !result;
-    total_cost = !total;
-  }
+  Ok
+    {
+      terminals = List.sort (fun (a, _) (b, _) -> compare a b) !result;
+      total_cost = !total;
+    }
+  with Assign_error e -> Error e
+
+let assign ?candidates design p g =
+  match assign_result ?candidates design p g with
+  | Ok a -> a
+  | Error e -> failwith (error_to_string e)
 
 let check design g a =
   let seen = Hashtbl.create 64 in

@@ -38,15 +38,34 @@ type assignment = {
           bounding box (0 when the slot is inside the box) *)
 }
 
+type error =
+  | Insufficient_slots of { nets : int; slots : int }
+      (** More cut nets than the terminal grid has slots: the pigeonhole
+          bound fails before any optimization is attempted. *)
+  | No_free_slot of { net : int }
+      (** The expanding-ring fallback exhausted the grid for this net
+          (only reachable when slots are contended to exhaustion). *)
+
+val error_to_string : error -> string
+
+val assign_result :
+  ?candidates:int ->
+  Tdf_netlist.Design.t ->
+  Tdf_netlist.Placement.t ->
+  grid ->
+  (assignment, error) result
+(** [candidates] (default 24) bounds each net's candidate slots in the
+    MCMF phase.  Infeasible instances come back as [Error] rather than an
+    exception, so the pipeline can degrade (e.g. re-run with a denser
+    terminal grid). *)
+
 val assign :
   ?candidates:int ->
   Tdf_netlist.Design.t ->
   Tdf_netlist.Placement.t ->
   grid ->
   assignment
-(** [candidates] (default 24) bounds each net's candidate slots in the
-    MCMF phase.  Raises [Failure] if the grid has fewer slots than cut
-    nets. *)
+(** Raising wrapper over {!assign_result}: raises [Failure] on error. *)
 
 val check :
   Tdf_netlist.Design.t -> grid -> assignment -> (unit, string) result

@@ -22,6 +22,7 @@ type row = {
   hpwl_incr_pct : float;
   d2d_moves : int;
   legal : bool;
+  via_fallback : bool;
 }
 
 type case_result = {
@@ -40,20 +41,32 @@ let count_d2d design (p : Placement.t) =
   done;
   !count
 
-let legalize_with m design =
+(* [Ours] runs through the resilient pipeline: a failed or illegal flow run
+   degrades (relaxed retry, then Tetris) instead of aborting the whole
+   suite; the returned flag records whether a fallback path produced the
+   placement. *)
+let legalize_tracked m design =
   match m with
-  | Tetris -> Tdf_baselines.Tetris.legalize design
-  | Abacus -> Tdf_baselines.Abacus.legalize design
-  | Bonn -> Tdf_baselines.Bonn.legalize design
-  | Ours -> (Flow3d.legalize design).Flow3d.placement
+  | Tetris -> (Tdf_baselines.Tetris.legalize design, false)
+  | Abacus -> (Tdf_baselines.Abacus.legalize design, false)
+  | Bonn -> (Tdf_baselines.Bonn.legalize design, false)
+  | Ours -> (
+    match Tdf_robust.Pipeline.run design with
+    | Ok r ->
+      ( r.Tdf_robust.Pipeline.placement,
+        r.Tdf_robust.Pipeline.path <> Tdf_robust.Pipeline.Primary )
+    | Error e -> invalid_arg (Tdf_robust.Error.to_string e))
   | Ours_no_d2d ->
-    (Flow3d.legalize ~cfg:Config.no_d2d design).Flow3d.placement
+    (Flow3d.legalize ~cfg:Config.no_d2d design).Flow3d.placement, false
+
+let legalize_with m design = fst (legalize_tracked m design)
 
 let measure m design =
   let name = method_name m in
-  let p, runtime_s =
+  let (p, via_fallback), runtime_s =
     Tdf_util.Timer.time (fun () ->
-        Tdf_telemetry.span ("runner." ^ name) (fun () -> legalize_with m design))
+        Tdf_telemetry.span ("runner." ^ name) (fun () ->
+            legalize_tracked m design))
   in
   Tdf_telemetry.observe ("runner.runtime_s." ^ name) runtime_s;
   let s = Tdf_metrics.Displacement.summary design p in
@@ -65,6 +78,7 @@ let measure m design =
     hpwl_incr_pct = Tdf_metrics.Hpwl.increase_pct design p;
     d2d_moves = count_d2d design p;
     legal = Tdf_metrics.Legality.is_legal design p;
+    via_fallback;
   }
 
 let run_case ?(methods = all_methods) ~case design =

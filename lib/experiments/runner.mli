@@ -16,6 +16,10 @@ type row = {
   hpwl_incr_pct : float;
   d2d_moves : int;  (** cells on a different die than initially (0 for 2D) *)
   legal : bool;
+  via_fallback : bool;
+      (** the placement came from the resilience chain (relaxed retry or
+          Tetris degradation), not the primary run; tagged ["^"] in the
+          emitted tables.  Always [false] for the baselines. *)
 }
 
 type case_result = {

@@ -61,9 +61,10 @@ let comparison ~title results =
       List.iter
         (fun m ->
           let row = find_row r m in
-          out " | %8.3f %8.2f %6.2f%s" row.Runner.avg_disp row.Runner.max_disp
+          out " | %8.3f %8.2f %6.2f%s%s" row.Runner.avg_disp row.Runner.max_disp
             row.Runner.runtime_s
-            (if row.Runner.legal then "" else "!"))
+            (if row.Runner.legal then "" else "!")
+            (if row.Runner.via_fallback then "^" else ""))
         methods;
       out "\n")
     results;
@@ -71,7 +72,9 @@ let comparison ~title results =
   List.iter
     (fun (_, a, mx, rt) -> out " | %8.3f %8.2f %6.2f" a mx rt)
     (normalized_row results);
-  out "\n(Average row: geometric-mean ratio vs Ours; '!' marks an illegal result)\n";
+  out
+    "\n(Average row: geometric-mean ratio vs Ours; '!' marks an illegal \
+     result; '^' a fallback-produced one)\n";
   Buffer.contents buf
 
 let ablation results =

@@ -6,6 +6,23 @@ type t = {
   mutable sizes : int array;
 }
 
+type arc = { a_src : int; a_dst : int; a_cap : int; a_cost : int }
+
+type error = Negative_cycle of arc list
+
+type solution = { flow : int; cost : int; complete : bool }
+
+let error_to_string = function
+  | Negative_cycle [] -> "negative cycle detected"
+  | Negative_cycle arcs ->
+    Printf.sprintf "negative cycle detected (%d arcs still relaxing: %s)"
+      (List.length arcs)
+      (arcs
+      |> List.map (fun a ->
+             Printf.sprintf "%d->%d cap %d cost %d" a.a_src a.a_dst a.a_cap
+               a.a_cost)
+      |> String.concat ", ")
+
 let create n =
   { n; adj = Array.init n (fun _ -> ref [||]); sizes = Array.make n 0 }
 
@@ -41,6 +58,20 @@ let flow_on t handle =
   (* flow = capacity currently on the reverse edge *)
   (edge_at t e.dst e.rev).cap
 
+(* Residual arcs that can still relax after Bellman–Ford converged or ran
+   out of passes: exactly the arc set witnessing a negative cycle. *)
+let relaxable_arcs t dist =
+  let acc = ref [] in
+  for v = 0 to t.n - 1 do
+    if dist.(v) < max_int then
+      for i = 0 to t.sizes.(v) - 1 do
+        let e = edge_at t v i in
+        if e.cap > 0 && dist.(v) + e.cost < dist.(e.dst) then
+          acc := { a_src = v; a_dst = e.dst; a_cap = e.cap; a_cost = e.cost } :: !acc
+      done
+  done;
+  List.rev !acc
+
 let bellman_ford t source dist =
   Array.fill dist 0 t.n max_int;
   dist.(source) <- 0;
@@ -61,90 +92,121 @@ let bellman_ford t source dist =
     done
   done;
   Tdf_telemetry.count "mcmf.bellman_ford_passes" !iters;
-  if !iters > t.n then invalid_arg "Mcmf: negative cycle detected"
+  if !iters > t.n then Error (relaxable_arcs t dist) else Ok ()
 
-let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =
+let solve t ~source ~sink ?(max_flow = max_int)
+    ?(budget = Tdf_util.Budget.unlimited) () =
   Tdf_telemetry.span "mcmf.min_cost_flow" @@ fun () ->
-  let pops = ref 0 and relaxations = ref 0 and augmentations = ref 0 in
-  let potential = Array.make t.n 0 in
-  let has_negative =
-    Array.exists
-      (fun (arr : edge array ref) ->
-        Array.exists (fun e -> e.cap > 0 && e.cost < 0) !arr)
-      t.adj
-  in
-  if has_negative then begin
-    let dist = Array.make t.n max_int in
-    bellman_ford t source dist;
-    for v = 0 to t.n - 1 do
-      potential.(v) <- (if dist.(v) = max_int then 0 else dist.(v))
-    done
-  end;
-  let dist = Array.make t.n max_int in
-  let prev_v = Array.make t.n (-1) in
-  let prev_e = Array.make t.n (-1) in
-  let total_flow = ref 0 and total_cost = ref 0 in
-  let continue = ref true in
-  while !continue && !total_flow < max_flow do
-    (* Dijkstra on reduced costs. *)
-    Array.fill dist 0 t.n max_int;
-    dist.(source) <- 0;
-    let heap = Tdf_util.Heap.create () in
-    Tdf_util.Heap.add heap ~key:0. source;
-    let rec run () =
-      match Tdf_util.Heap.pop heap with
-      | None -> ()
-      | Some (d, v) ->
-        incr pops;
-        let d = int_of_float d in
-        if d <= dist.(v) then begin
-          for i = 0 to t.sizes.(v) - 1 do
-            let e = edge_at t v i in
-            if e.cap > 0 then begin
-              let nd = dist.(v) + e.cost + potential.(v) - potential.(e.dst) in
-              if nd < dist.(e.dst) then begin
-                incr relaxations;
-                dist.(e.dst) <- nd;
-                prev_v.(e.dst) <- v;
-                prev_e.(e.dst) <- i;
-                Tdf_util.Heap.add heap ~key:(float_of_int nd) e.dst
-              end
-            end
-          done
-        end;
-        run ()
+  if Tdf_util.Failpoint.fire "mcmf.solve" then Error (Negative_cycle [])
+  else begin
+    let pops = ref 0 and relaxations = ref 0 and augmentations = ref 0 in
+    let potential = Array.make t.n 0 in
+    let has_negative =
+      Array.exists
+        (fun (arr : edge array ref) ->
+          Array.exists (fun e -> e.cap > 0 && e.cost < 0) !arr)
+        t.adj
     in
-    run ();
-    if dist.(sink) = max_int then continue := false
-    else begin
-      for v = 0 to t.n - 1 do
-        if dist.(v) < max_int then potential.(v) <- potential.(v) + dist.(v)
-      done;
-      (* Bottleneck along the path. *)
-      let rec bottleneck v acc =
-        if v = source then acc
+    let bf_error = ref None in
+    if has_negative then begin
+      let dist = Array.make t.n max_int in
+      (match bellman_ford t source dist with
+      | Error arcs -> bf_error := Some (Negative_cycle arcs)
+      | Ok () ->
+        for v = 0 to t.n - 1 do
+          potential.(v) <- (if dist.(v) = max_int then 0 else dist.(v))
+        done)
+    end;
+    match !bf_error with
+    | Some e -> Error e
+    | None ->
+      if Tdf_util.Failpoint.fire "mcmf.timeout" then
+        Tdf_util.Budget.exhaust budget;
+      let dist = Array.make t.n max_int in
+      let prev_v = Array.make t.n (-1) in
+      let prev_e = Array.make t.n (-1) in
+      let total_flow = ref 0 and total_cost = ref 0 in
+      let continue = ref true in
+      let complete = ref true in
+      while !continue && !total_flow < max_flow do
+        if Tdf_util.Failpoint.fire "mcmf.timeout" then
+          Tdf_util.Budget.exhaust budget;
+        if Tdf_util.Budget.exhausted budget then begin
+          (* Out of budget: stop augmenting and hand back the partial flow. *)
+          complete := false;
+          continue := false
+        end
         else begin
-          let e = edge_at t prev_v.(v) prev_e.(v) in
-          bottleneck prev_v.(v) (min acc e.cap)
+          (* Dijkstra on reduced costs. *)
+          Array.fill dist 0 t.n max_int;
+          dist.(source) <- 0;
+          let heap = Tdf_util.Heap.create () in
+          Tdf_util.Heap.add heap ~key:0. source;
+          let rec run () =
+            match Tdf_util.Heap.pop heap with
+            | None -> ()
+            | Some (d, v) ->
+              incr pops;
+              let d = int_of_float d in
+              if d <= dist.(v) then begin
+                for i = 0 to t.sizes.(v) - 1 do
+                  let e = edge_at t v i in
+                  if e.cap > 0 then begin
+                    let nd =
+                      dist.(v) + e.cost + potential.(v) - potential.(e.dst)
+                    in
+                    if nd < dist.(e.dst) then begin
+                      incr relaxations;
+                      dist.(e.dst) <- nd;
+                      prev_v.(e.dst) <- v;
+                      prev_e.(e.dst) <- i;
+                      Tdf_util.Heap.add heap ~key:(float_of_int nd) e.dst
+                    end
+                  end
+                done
+              end;
+              run ()
+          in
+          run ();
+          if dist.(sink) = max_int then continue := false
+          else begin
+            for v = 0 to t.n - 1 do
+              if dist.(v) < max_int then potential.(v) <- potential.(v) + dist.(v)
+            done;
+            (* Bottleneck along the path. *)
+            let rec bottleneck v acc =
+              if v = source then acc
+              else begin
+                let e = edge_at t prev_v.(v) prev_e.(v) in
+                bottleneck prev_v.(v) (min acc e.cap)
+              end
+            in
+            let push = min (bottleneck sink max_int) (max_flow - !total_flow) in
+            let rec apply v =
+              if v <> source then begin
+                let e = edge_at t prev_v.(v) prev_e.(v) in
+                e.cap <- e.cap - push;
+                let r = edge_at t v e.rev in
+                r.cap <- r.cap + push;
+                total_cost := !total_cost + (push * e.cost);
+                apply prev_v.(v)
+              end
+            in
+            apply sink;
+            incr augmentations;
+            Tdf_util.Budget.tick budget 1;
+            total_flow := !total_flow + push
+          end
         end
-      in
-      let push = min (bottleneck sink max_int) (max_flow - !total_flow) in
-      let rec apply v =
-        if v <> source then begin
-          let e = edge_at t prev_v.(v) prev_e.(v) in
-          e.cap <- e.cap - push;
-          let r = edge_at t v e.rev in
-          r.cap <- r.cap + push;
-          total_cost := !total_cost + (push * e.cost);
-          apply prev_v.(v)
-        end
-      in
-      apply sink;
-      incr augmentations;
-      total_flow := !total_flow + push
-    end
-  done;
-  Tdf_telemetry.count "mcmf.augmentations" !augmentations;
-  Tdf_telemetry.count "mcmf.dijkstra_pops" !pops;
-  Tdf_telemetry.count "mcmf.relaxations" !relaxations;
-  (!total_flow, !total_cost)
+      done;
+      Tdf_telemetry.count "mcmf.augmentations" !augmentations;
+      Tdf_telemetry.count "mcmf.dijkstra_pops" !pops;
+      Tdf_telemetry.count "mcmf.relaxations" !relaxations;
+      if not !complete then Tdf_telemetry.incr "mcmf.budget_stops";
+      Ok { flow = !total_flow; cost = !total_cost; complete = !complete }
+  end
+
+let min_cost_flow t ~source ~sink ?max_flow () =
+  match solve t ~source ~sink ?max_flow () with
+  | Ok { flow; cost; _ } -> (flow, cost)
+  | Error (Negative_cycle _) -> invalid_arg "Mcmf: negative cycle detected"

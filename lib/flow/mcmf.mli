@@ -9,6 +9,27 @@
 
 type t
 
+type arc = { a_src : int; a_dst : int; a_cap : int; a_cost : int }
+(** A residual arc, reported in {!error} diagnostics. *)
+
+type error = Negative_cycle of arc list
+(** The graph admits a negative-cost residual cycle, so shortest-path
+    augmentation is ill-defined.  The payload is the set of residual arcs
+    that could still relax after [n] Bellman–Ford passes — every negative
+    cycle consists of such arcs, which localizes the offending subgraph
+    for the caller (empty when the failure was injected by the
+    ["mcmf.solve"] failpoint). *)
+
+val error_to_string : error -> string
+
+type solution = {
+  flow : int;
+  cost : int;
+  complete : bool;
+      (** [false] when a budget ran out mid-solve: [flow]/[cost] describe
+          the best-effort partial flow pushed so far. *)
+}
+
 val create : int -> t
 (** [create n] makes an empty graph on vertices [0 .. n-1]. *)
 
@@ -18,14 +39,28 @@ val add_edge : t -> src:int -> dst:int -> cap:int -> cost:int -> int
 (** Adds a directed edge and its residual reverse edge; returns an edge
     handle for {!flow_on}.  Requires [cap >= 0]. *)
 
+val solve :
+  t ->
+  source:int ->
+  sink:int ->
+  ?max_flow:int ->
+  ?budget:Tdf_util.Budget.t ->
+  unit ->
+  (solution, error) result
+(** [solve t ~source ~sink ()] pushes up to [max_flow] (default: as much
+    as possible) units along successive shortest paths.  Each augmentation
+    ticks [budget] once; when the budget exhausts, the partial flow
+    accumulated so far is returned with [complete = false] instead of
+    running to max flow.  Fault-injection sites: ["mcmf.solve"] (forces
+    [Error (Negative_cycle [])]) and ["mcmf.timeout"] (exhausts the
+    budget). *)
+
 val min_cost_flow :
   t -> source:int -> sink:int -> ?max_flow:int -> unit -> int * int
-(** [min_cost_flow t ~source ~sink ()] pushes up to [max_flow] (default: as
-    much as possible) units and returns [(flow, cost)].  Each augmentation
-    uses a shortest path, so the result is a minimum-cost flow of that
-    value.  Graphs with negative *cycles* are not supported (the paper's
-    networks have none: negative edges only point back toward initial
-    positions). *)
+(** Raising convenience wrapper over {!solve} with no budget: returns
+    [(flow, cost)] and raises [Invalid_argument] on a negative cycle (the
+    paper's networks have none: negative edges only point back toward
+    initial positions). *)
 
 val flow_on : t -> int -> int
 (** Flow currently routed through an edge handle. *)

@@ -351,6 +351,12 @@ let widest_segment t die =
     t.segments;
   !best
 
+type place_error = { pe_cell : int; pe_die : int }
+
+let place_error_to_string e =
+  Printf.sprintf "cell %d: no segment available on any die (requested die %d)"
+    e.pe_cell e.pe_die
+
 let place_cell t ~cell ~die ~x ~y =
   assert (t.cell_seg.(cell) = -1);
   let c = Design.cell t.design cell in
@@ -378,14 +384,32 @@ let place_cell t ~cell ~die ~x ~y =
         | None -> None))
   in
   match slot with
-  | Some (sid, cx) -> distribute_in_segment t ~cell ~sid ~x:cx
-  | None -> invalid_arg "Grid.place_cell: no segment available on any die"
+  | Some (sid, cx) -> Ok (distribute_in_segment t ~cell ~sid ~x:cx)
+  | None -> Error { pe_cell = cell; pe_die = die }
+
+let place_cell_exn t ~cell ~die ~x ~y =
+  match place_cell t ~cell ~die ~x ~y with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Grid.place_cell: " ^ place_error_to_string e)
 
 let assign_initial t p =
-  for cell = 0 to Design.n_cells t.design - 1 do
-    place_cell t ~cell ~die:p.Placement.die.(cell) ~x:p.Placement.x.(cell)
-      ~y:p.Placement.y.(cell)
-  done
+  let n = Design.n_cells t.design in
+  let rec go cell =
+    if cell >= n then Ok ()
+    else
+      match
+        place_cell t ~cell ~die:p.Placement.die.(cell) ~x:p.Placement.x.(cell)
+          ~y:p.Placement.y.(cell)
+      with
+      | Ok () -> go (cell + 1)
+      | Error _ as e -> e
+  in
+  go 0
+
+let assign_initial_exn t p =
+  match assign_initial t p with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Grid.assign_initial: " ^ place_error_to_string e)
 
 let remove_cell t ~cell =
   let frags = t.cell_frags.(cell) in

@@ -96,16 +96,32 @@ val find_slot : t -> die:int -> x:int -> y:int -> w:int -> (int * int) option
     fits; returns [(segment id, clamped x)].  [None] when no segment of the
     die can hold width [w]. *)
 
-val place_cell : t -> cell:int -> die:int -> x:int -> y:int -> unit
+type place_error = { pe_cell : int; pe_die : int }
+(** A cell that fits in no segment of any die (checked against the
+    requested die first). *)
+
+val place_error_to_string : place_error -> string
+
+val place_cell :
+  t -> cell:int -> die:int -> x:int -> y:int -> (unit, place_error) result
 (** Assign cell to its nearest bins on [die] near [(x, y)]: picks the best
     segment via {!find_slot} (falling back to the widest segment, then to
     other dies, if the cell fits nowhere on [die]) and distributes the cell
     fractionally over the bins its span overlaps.  The cell must currently
-    be unassigned. *)
+    be unassigned.  [Error] when no die has a segment at all — the caller
+    (or the robustness layer's fallback chain) decides how to degrade. *)
 
-val assign_initial : t -> Tdf_netlist.Placement.t -> unit
+val place_cell_exn : t -> cell:int -> die:int -> x:int -> y:int -> unit
+(** {!place_cell}, raising [Invalid_argument] on error (for call sites
+    that have already validated the design). *)
+
+val assign_initial : t -> Tdf_netlist.Placement.t -> (unit, place_error) result
 (** Assign every cell from a placement (die from [p.die], position from
-    [p.x]/[p.y]), as in Fig. 3(a) / Alg. 2 line 2. *)
+    [p.x]/[p.y]), as in Fig. 3(a) / Alg. 2 line 2.  Stops at the first
+    unplaceable cell. *)
+
+val assign_initial_exn : t -> Tdf_netlist.Placement.t -> unit
+(** {!assign_initial}, raising [Invalid_argument] on error. *)
 
 val remove_cell : t -> cell:int -> unit
 (** Remove all fractions of a cell from the grid. *)

@@ -331,3 +331,11 @@ let save ?terminal path d =
   write ?terminal fmt d;
   Format.pp_print_flush fmt ();
   close_out oc
+
+let read_exn text =
+  match read text with Ok v -> v | Error msg -> failwith ("Contest.read: " ^ msg)
+
+let load_exn path =
+  match load path with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)

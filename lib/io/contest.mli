@@ -51,3 +51,12 @@ val load : string -> (Tdf_netlist.Design.t * terminal_spec option, string) resul
 (** Read from a file path. *)
 
 val save : ?terminal:terminal_spec -> string -> Tdf_netlist.Design.t -> unit
+
+val read_exn : string -> Tdf_netlist.Design.t * terminal_spec option
+(** Raising variant of {!read}: [Failure] with the parser's
+    ["line %d: ..."] diagnostic.  Prefer {!read} in anything
+    user-facing; this is for tests and scripts that want to die loudly. *)
+
+val load_exn : string -> Tdf_netlist.Design.t * terminal_spec option
+(** Raising variant of {!load}; the [Failure] message is prefixed with
+    the file path ([<path>: line <n>: ...]). *)

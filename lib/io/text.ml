@@ -197,3 +197,23 @@ let load_design path = read_design (read_file path)
 let save_placement path design p = with_out path (fun fmt -> write_placement fmt design p)
 
 let load_placement path design = read_placement design (read_file path)
+
+let read_design_exn text =
+  match read_design text with
+  | Ok v -> v
+  | Error msg -> failwith ("Text.read_design: " ^ msg)
+
+let load_design_exn path =
+  match load_design path with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+
+let read_placement_exn design text =
+  match read_placement design text with
+  | Ok v -> v
+  | Error msg -> failwith ("Text.read_placement: " ^ msg)
+
+let load_placement_exn path design =
+  match load_placement path design with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)

@@ -12,9 +12,22 @@ type stats = {
   reliefs : int;
   residual_overflow : float;
   post_opt_rounds : int;
+  complete : bool;
 }
 
 type result = { placement : Placement.t; stats : stats }
+
+type error =
+  | No_segment of { cell : int; die : int }
+  | Injected of { site : string }
+
+let error_to_string = function
+  | No_segment { cell; die } ->
+    Printf.sprintf "flow3d: cell %d fits in no segment (requested die %d)" cell
+      die
+  | Injected { site } -> Printf.sprintf "flow3d: injected failure at %s" site
+
+exception Place_failed of Grid.place_error
 
 let flow_bin_width design ~factor =
   let n = Design.n_cells design in
@@ -33,7 +46,7 @@ let flow_bin_width design ~factor =
 let eps = 1e-6
 
 (* Alg. 2 lines 4-10: resolve supply bins in descending supply order. *)
-let flow_pass cfg grid =
+let flow_pass cfg ~budget grid =
   Tdf_telemetry.span "flow3d.flow_pass" @@ fun () ->
   let state = Augment.create_state grid in
   let q = Heap.create () in
@@ -43,11 +56,20 @@ let flow_pass cfg grid =
     (Grid.overflowed_bins grid);
   let augmentations = ref 0 and expansions = ref 0 and failed = ref 0 in
   let reliefs = ref 0 in
+  let complete = ref true in
   let relief_budget = 8 * Grid.n_bins grid in
   let rec loop () =
-    match Heap.pop q with
-    | None -> ()
-    | Some (key, bid) ->
+    if Tdf_util.Failpoint.fire "flow3d.timeout" then
+      Tdf_util.Budget.exhaust budget;
+    if Tdf_util.Budget.exhausted budget then begin
+      (* Over budget: leave the remaining supply unresolved; the residual
+         overflow in the stats reports how much was left on the table. *)
+      if not (Heap.is_empty q) then complete := false
+    end
+    else
+      match Heap.pop q with
+      | None -> ()
+      | Some (key, bid) ->
       let b = grid.Grid.bins.(bid) in
       let sup = Grid.supply b in
       if sup <= eps then loop ()
@@ -82,6 +104,7 @@ let flow_pass cfg grid =
           else requeue_or_fail (Grid.supply b)
         | Some path ->
           incr augmentations;
+          Tdf_util.Budget.tick budget 1;
           expansions := !expansions + Augment.expansions state;
           let _ = Mover.realize cfg grid path in
           let sup' = Grid.supply b in
@@ -93,7 +116,8 @@ let flow_pass cfg grid =
   Tdf_telemetry.count "flow3d.augmentations" !augmentations;
   Tdf_telemetry.count "flow3d.failed_supplies" !failed;
   Tdf_telemetry.count "flow3d.reliefs" !reliefs;
-  (!augmentations, !expansions, !failed, !reliefs)
+  if not !complete then Tdf_telemetry.incr "flow3d.budget_stops";
+  (!augmentations, !expansions, !failed, !reliefs, !complete)
 
 (* §III-D: Abacus PlaceRow on every segment; writes final positions. *)
 let finalize grid (p : Placement.t) =
@@ -154,21 +178,33 @@ let max_disp design p =
   done;
   !m
 
-let one_pass cfg design ~bin_factor (start : Placement.t) (targets : (int * int * int) array option) =
+(* Raises [Place_failed] on an unplaceable cell; [run] catches it. *)
+let one_pass cfg ~budget design ~bin_factor (start : Placement.t)
+    (targets : (int * int * int) array option) =
   let bw = flow_bin_width design ~factor:bin_factor in
   let grid =
     Tdf_telemetry.span "flow3d.grid_build" @@ fun () ->
     let grid = Grid.build design ~bin_width:bw in
     (match targets with
-    | None -> Grid.assign_initial grid start
+    | None ->
+      (match Grid.assign_initial grid start with
+      | Ok () -> ()
+      | Error e -> raise (Place_failed e))
     | Some tgts ->
-      Array.iteri (fun cell (x, y, die) -> Grid.place_cell grid ~cell ~die ~x ~y) tgts);
+      Array.iteri
+        (fun cell (x, y, die) ->
+          match Grid.place_cell grid ~cell ~die ~x ~y with
+          | Ok () -> ()
+          | Error e -> raise (Place_failed e))
+        tgts);
     grid
   in
-  let augmentations, expansions, failed, reliefs = flow_pass cfg grid in
+  let augmentations, expansions, failed, reliefs, complete =
+    flow_pass cfg ~budget grid
+  in
   let p = Placement.copy start in
   finalize grid p;
-  (p, augmentations, expansions, failed, reliefs, Grid.total_overflow grid)
+  (p, augmentations, expansions, failed, reliefs, Grid.total_overflow grid, complete)
 
 let count_d2d design (p : Placement.t) =
   let nd = Design.n_dies design in
@@ -180,74 +216,102 @@ let count_d2d design (p : Placement.t) =
   done;
   !count
 
-let legalize_from ?(cfg = Config.default) design start =
+let run ?(cfg = Config.default) ?(budget = Tdf_util.Budget.unlimited) ?start
+    design =
   Tdf_telemetry.span "flow3d.legalize" @@ fun () ->
-  let p, aug, exp_, failed, reliefs, residual =
-    one_pass cfg design ~bin_factor:cfg.Config.bin_width_factor start None
-  in
-  let p = ref p in
-  let aug = ref aug and exp_ = ref exp_ and failed = ref failed in
-  let reliefs = ref reliefs in
-  let residual = ref residual in
-  let rounds = ref 0 in
-  if cfg.Config.post_opt then begin
-    let continue = ref true and pass = ref 0 in
-    while !continue && !pass < cfg.Config.post_opt_passes do
-      incr pass;
-      Tdf_telemetry.span "flow3d.post_opt" @@ fun () ->
-      match Post_opt.select_victims design !p with
-      | [] -> continue := false
-      | victims ->
-        let is_victim = Array.make (Placement.n_cells !p) false in
-        List.iter (fun c -> is_victim.(c) <- true) victims;
-        let targets =
-          Array.init (Placement.n_cells !p) (fun c ->
-              if is_victim.(c) then begin
-                let x, y = Post_opt.midpoint_target design !p c in
-                (x, y, !p.Placement.die.(c))
-              end
-              else ((!p).Placement.x.(c), (!p).Placement.y.(c), (!p).Placement.die.(c)))
-        in
-        let p', aug', exp', failed', reliefs', residual' =
-          one_pass cfg design ~bin_factor:cfg.Config.post_bin_width_factor !p
-            (Some targets)
-        in
-        aug := !aug + aug';
-        exp_ := !exp_ + exp';
-        reliefs := !reliefs + reliefs';
-        let old_max = max_disp design !p in
-        let new_max = max_disp design p' in
-        let improved =
-          residual' <= eps
-          && (new_max < old_max -. 1e-9
-             || (Float.abs (new_max -. old_max) <= 1e-9
-                && avg_disp design p' <= avg_disp design !p))
-        in
-        if improved then begin
-          p := p';
-          failed := !failed + failed';
-          residual := residual';
-          incr rounds
-        end
-        else continue := false
-    done
-  end;
-  Tdf_telemetry.count "flow3d.post_opt_rounds" !rounds;
-  if Tdf_telemetry.enabled () then
-    Tdf_telemetry.count "flow3d.d2d_cells" (count_d2d design !p);
-  {
-    placement = !p;
-    stats =
-      {
-        augmentations = !aug;
-        expansions = !exp_;
-        d2d_cells = count_d2d design !p;
-        failed_supplies = !failed;
-        reliefs = !reliefs;
-        residual_overflow = !residual;
-        post_opt_rounds = !rounds;
-      };
-  }
+  if Tdf_util.Failpoint.fire "flow3d.flow_pass" then
+    Error (Injected { site = "flow3d.flow_pass" })
+  else begin
+    let start =
+      match start with Some p -> p | None -> Placement.initial design
+    in
+    try
+      let p, aug, exp_, failed, reliefs, residual, complete =
+        one_pass cfg ~budget design ~bin_factor:cfg.Config.bin_width_factor
+          start None
+      in
+      let p = ref p in
+      let aug = ref aug and exp_ = ref exp_ and failed = ref failed in
+      let reliefs = ref reliefs in
+      let residual = ref residual in
+      let complete = ref complete in
+      let rounds = ref 0 in
+      if cfg.Config.post_opt then begin
+        let continue = ref true and pass = ref 0 in
+        while
+          !continue
+          && !pass < cfg.Config.post_opt_passes
+          && not (Tdf_util.Budget.exhausted budget)
+        do
+          incr pass;
+          Tdf_telemetry.span "flow3d.post_opt" @@ fun () ->
+          match Post_opt.select_victims design !p with
+          | [] -> continue := false
+          | victims ->
+            let is_victim = Array.make (Placement.n_cells !p) false in
+            List.iter (fun c -> is_victim.(c) <- true) victims;
+            let targets =
+              Array.init (Placement.n_cells !p) (fun c ->
+                  if is_victim.(c) then begin
+                    let x, y = Post_opt.midpoint_target design !p c in
+                    (x, y, !p.Placement.die.(c))
+                  end
+                  else
+                    ( (!p).Placement.x.(c),
+                      (!p).Placement.y.(c),
+                      (!p).Placement.die.(c) ))
+            in
+            let p', aug', exp', failed', reliefs', residual', complete' =
+              one_pass cfg ~budget design
+                ~bin_factor:cfg.Config.post_bin_width_factor !p (Some targets)
+            in
+            aug := !aug + aug';
+            exp_ := !exp_ + exp';
+            reliefs := !reliefs + reliefs';
+            complete := !complete && complete';
+            let old_max = max_disp design !p in
+            let new_max = max_disp design p' in
+            let improved =
+              residual' <= eps
+              && (new_max < old_max -. 1e-9
+                 || (Float.abs (new_max -. old_max) <= 1e-9
+                    && avg_disp design p' <= avg_disp design !p))
+            in
+            if improved then begin
+              p := p';
+              failed := !failed + failed';
+              residual := residual';
+              incr rounds
+            end
+            else continue := false
+        done
+      end;
+      Tdf_telemetry.count "flow3d.post_opt_rounds" !rounds;
+      if Tdf_telemetry.enabled () then
+        Tdf_telemetry.count "flow3d.d2d_cells" (count_d2d design !p);
+      Ok
+        {
+          placement = !p;
+          stats =
+            {
+              augmentations = !aug;
+              expansions = !exp_;
+              d2d_cells = count_d2d design !p;
+              failed_supplies = !failed;
+              reliefs = !reliefs;
+              residual_overflow = !residual;
+              post_opt_rounds = !rounds;
+              complete = !complete;
+            };
+        }
+    with Place_failed e ->
+      Error (No_segment { cell = e.Grid.pe_cell; die = e.Grid.pe_die })
+  end
+
+let legalize_from ?(cfg = Config.default) design start =
+  match run ~cfg ~start design with
+  | Ok r -> r
+  | Error e -> invalid_arg (error_to_string e)
 
 let legalize ?(cfg = Config.default) design =
   legalize_from ~cfg design (Placement.initial design)

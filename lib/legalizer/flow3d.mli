@@ -18,6 +18,10 @@ type stats = {
   reliefs : int;  (** direct-relocation fallbacks taken on search dead-ends *)
   residual_overflow : float;  (** Σ sup(v) left after the flow phase *)
   post_opt_rounds : int;  (** accepted post-optimization rounds *)
+  complete : bool;
+      (** [false] when a budget expired mid-run: the placement is the
+          best effort reached before the deadline (remaining supply shows
+          up in [residual_overflow]). *)
 }
 
 type result = {
@@ -25,9 +29,33 @@ type result = {
   stats : stats;
 }
 
+type error =
+  | No_segment of { cell : int; die : int }
+      (** A cell fits in no row segment of any die; the grid cannot even
+          host the initial assignment. *)
+  | Injected of { site : string }
+      (** A fault-injection site forced this run to fail. *)
+
+val error_to_string : error -> string
+
+val run :
+  ?cfg:Config.t ->
+  ?budget:Tdf_util.Budget.t ->
+  ?start:Tdf_netlist.Placement.t ->
+  Tdf_netlist.Design.t ->
+  (result, error) Stdlib.result
+(** The resilient entry point: legalize from [start] (default: the
+    design's global placement) under an optional budget.  When the budget
+    exhausts mid-flow, the supply-resolution loop and post-optimization
+    wind down and the best-effort placement is returned with
+    [stats.complete = false] — the run never hangs.  Structural failures
+    (an unplaceable cell) are returned as [Error] instead of raising.
+    Fault-injection sites: ["flow3d.flow_pass"] (forces an [Injected]
+    error) and ["flow3d.timeout"] (exhausts the budget). *)
+
 val legalize : ?cfg:Config.t -> Tdf_netlist.Design.t -> result
 (** Legalize from the design's global placement (nearest-die initial
-    assignment). *)
+    assignment).  Raising wrapper over {!run} with no budget. *)
 
 val legalize_from :
   ?cfg:Config.t -> Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> result

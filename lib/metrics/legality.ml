@@ -87,3 +87,11 @@ let check design p =
   { n_violations = !count; messages = List.rev !messages; overlap_area = !overlap }
 
 let is_legal design p = (check design p).n_violations = 0
+
+let brief r =
+  if r.n_violations = 0 then "legal"
+  else
+    Printf.sprintf "%d violation%s (overlap area %d)%s" r.n_violations
+      (if r.n_violations = 1 then "" else "s")
+      r.overlap_area
+      (match r.messages with m :: _ -> "; first: " ^ m | [] -> "")

@@ -11,3 +11,8 @@ type report = {
 val check : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> report
 
 val is_legal : Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> bool
+
+val brief : report -> string
+(** One-line human-readable summary ("legal" or a violation count with the
+    first message) — what the resilient pipeline and the CLI log after
+    each attempt. *)

@@ -1,0 +1,58 @@
+type phase =
+  | Preflight
+  | Grid_build
+  | Flow
+  | Place_row
+  | Post_opt
+  | Mcmf
+  | Terminal
+  | Parse
+
+let phase_name = function
+  | Preflight -> "preflight"
+  | Grid_build -> "grid-build"
+  | Flow -> "flow"
+  | Place_row -> "place-row"
+  | Post_opt -> "post-opt"
+  | Mcmf -> "mcmf"
+  | Terminal -> "terminal"
+  | Parse -> "parse"
+
+type t = {
+  phase : phase;
+  code : string;
+  cell : int option;
+  die : int option;
+  net : int option;
+  detail : string;
+}
+
+let make ?cell ?die ?net phase ~code detail =
+  { phase; code; cell; die; net; detail }
+
+let to_string e =
+  let ctx =
+    List.filter_map
+      (fun (label, v) -> Option.map (Printf.sprintf "%s %d" label) v)
+      [ ("cell", e.cell); ("die", e.die); ("net", e.net) ]
+  in
+  Printf.sprintf "%s/%s: %s%s" (phase_name e.phase) e.code e.detail
+    (match ctx with [] -> "" | l -> " (" ^ String.concat ", " l ^ ")")
+
+let of_mcmf (err : Tdf_flow.Mcmf.error) =
+  match err with
+  | Tdf_flow.Mcmf.Negative_cycle _ ->
+    make Mcmf ~code:"negative-cycle" (Tdf_flow.Mcmf.error_to_string err)
+
+let of_flow3d (err : Tdf_legalizer.Flow3d.error) =
+  match err with
+  | Tdf_legalizer.Flow3d.No_segment { cell; die } ->
+    make Flow ~cell ~die ~code:"no-segment"
+      "cell fits in no row segment of any die"
+  | Tdf_legalizer.Flow3d.Injected { site } ->
+    make Flow ~code:"injected" (Printf.sprintf "forced failure at %s" site)
+
+let of_grid (err : Tdf_grid.Grid.place_error) =
+  make Grid_build ~cell:err.Tdf_grid.Grid.pe_cell ~die:err.Tdf_grid.Grid.pe_die
+    ~code:"no-segment"
+    (Tdf_grid.Grid.place_error_to_string err)

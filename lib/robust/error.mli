@@ -1,0 +1,41 @@
+(** Structured errors of the resilient legalization pipeline.
+
+    Every fatal condition that used to escape as a bare
+    [assert]/[invalid_arg]/[failwith] deep inside the stack is reported as
+    a value of this one type: which phase failed, which entity (cell, die,
+    bin, net) was involved, and a human-readable detail string.  The
+    pipeline logs these, the CLI prints them as one-line diagnostics, and
+    the fallback chain dispatches on them — nothing crashes mid-flow. *)
+
+type phase =
+  | Preflight  (** design validation before any solver runs *)
+  | Grid_build  (** bin-grid construction / initial assignment *)
+  | Flow  (** the 3D-Flow supply-resolution phase *)
+  | Place_row  (** per-segment Abacus PlaceRow *)
+  | Post_opt  (** cycle-canceling post-optimization *)
+  | Mcmf  (** the generic min-cost-flow substrate *)
+  | Terminal  (** bonding-terminal assignment *)
+  | Parse  (** input file parsing *)
+
+val phase_name : phase -> string
+
+type t = {
+  phase : phase;
+  code : string;  (** stable machine-readable slug, e.g. ["negative-cycle"] *)
+  cell : int option;
+  die : int option;
+  net : int option;
+  detail : string;
+}
+
+val make :
+  ?cell:int -> ?die:int -> ?net:int -> phase -> code:string -> string -> t
+
+val to_string : t -> string
+(** One line: ["<phase>/<code>: <detail> (cell 12, die 0)"]. *)
+
+val of_mcmf : Tdf_flow.Mcmf.error -> t
+
+val of_flow3d : Tdf_legalizer.Flow3d.error -> t
+
+val of_grid : Tdf_grid.Grid.place_error -> t

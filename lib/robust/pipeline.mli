@@ -1,0 +1,64 @@
+(** The resilient legalization pipeline: preflight → 3D-Flow → retry with
+    a relaxed configuration → Tetris baseline fallback.
+
+    [run] never raises and, unless fallback is disabled and every stage
+    fails, always produces a placement:
+
+    + {b Preflight} — {!Validate.design}; fatal issues abort (or, with
+      [repair] set, are auto-repaired first and only abort if still fatal
+      afterwards).  With [strict] set, warnings abort too.
+    + {b Primary} — {!Tdf_legalizer.Flow3d.run} under the wall-clock
+      budget, with the caller's configuration.
+    + {b Retry} — on error, an illegal result, or an exhausted budget:
+      one more Flow3d run with a relaxed configuration (double-width
+      bins, more per-bin retries, no post-optimization) and a fresh
+      budget.  Counted in ["robust.retries"].
+    + {b Fallback} — if the retry also fails: the Tetris greedy baseline,
+      which cannot fail on a preflight-clean design.  Counted in
+      ["robust.fallbacks"].
+
+    Legality is re-checked with {!Tdf_metrics.Legality} after {e every}
+    stage; the first legal result wins.  If no stage produced a legal
+    placement, the best-effort placement of the latest stage that
+    produced one is returned with [legal = false].  The report records
+    which path produced the result. *)
+
+type path =
+  | Primary  (** first Flow3d run succeeded *)
+  | Relaxed  (** the relaxed-configuration retry succeeded *)
+  | Tetris_fallback  (** degraded to the greedy baseline *)
+
+val path_name : path -> string
+
+type options = {
+  strict : bool;  (** treat preflight warnings as fatal *)
+  repair : bool;  (** auto-repair recoverable preflight issues *)
+  budget_ms : int option;  (** wall-clock budget per legalization attempt *)
+  fallback : bool;  (** allow retry + Tetris degradation (default on) *)
+}
+
+val default_options : options
+(** [{ strict = false; repair = false; budget_ms = None; fallback = true }] *)
+
+type report = {
+  placement : Tdf_netlist.Placement.t;
+  design : Tdf_netlist.Design.t;
+      (** the design actually legalized (repaired copy when [repair]
+          applied fixes; otherwise the input) *)
+  path : path;
+  legal : bool;
+  attempts : int;  (** legalization attempts made (1–3) *)
+  issues : Validate.issue list;  (** preflight diagnostics *)
+  repairs : string list;  (** repairs applied (empty unless [repair]) *)
+  stats : Tdf_legalizer.Flow3d.stats option;
+      (** stats of the winning Flow3d run; [None] for the Tetris path *)
+}
+
+val run :
+  ?opts:options ->
+  ?cfg:Tdf_legalizer.Config.t ->
+  Tdf_netlist.Design.t ->
+  (report, Error.t) result
+(** Telemetry: increments ["validate.errors"] per fatal preflight issue,
+    ["robust.retries"] per relaxed retry, ["robust.fallbacks"] per Tetris
+    degradation. *)

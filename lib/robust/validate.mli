@@ -1,0 +1,44 @@
+(** Preflight validation of a design, with an auto-repair mode.
+
+    [design] returns a typed list of diagnostics instead of letting a
+    malformed input die on a bare [assert] deep inside the grid builder or
+    the flow solver.  Checks cover the failure classes seen in practice:
+
+    - dies with no complete row, or whose rows are entirely covered by
+      macros (zero placement capacity);
+    - cells wider than every row segment of a die (and the fatal case:
+      wider than every segment of {e every} die — unplaceable);
+    - macros escaping their die outline, or overlapping each other;
+    - degenerate nets (fewer than two distinct pins) and nets referencing
+      out-of-range cells;
+    - non-finite or out-of-window global-placement coordinates (NaN
+      [gp_z], [gp_z] outside [0, n_dies - 1], [gp_x]/[gp_y] outside the
+      die window).
+
+    [repair] applies the conservative fix for every recoverable issue —
+    clamp (positions, z, oversized widths), or drop (degenerate nets,
+    escaping macros) — and reports what it did.  Unrecoverable issues
+    (e.g. every die has zero capacity) remain fatal after repair. *)
+
+type severity = Warning | Fatal
+
+type issue = {
+  severity : severity;
+  code : string;  (** stable slug, e.g. ["nan-gp-z"], ["unplaceable-cell"] *)
+  subject : string;  (** entity, e.g. ["cell 12"], ["die 0"], ["net n3"] *)
+  message : string;
+}
+
+val issue_to_string : issue -> string
+
+val design : Tdf_netlist.Design.t -> issue list
+(** All diagnostics, fatal first.  An empty list means the design is safe
+    to hand to any legalizer in the repo. *)
+
+val fatal : issue list -> issue list
+(** The subset that must block a run (every [Fatal]). *)
+
+val repair : Tdf_netlist.Design.t -> Tdf_netlist.Design.t * string list
+(** [repair d] is a copy of [d] with every recoverable issue fixed, plus
+    one description per applied repair.  Idempotent: repairing a clean
+    design returns it unchanged with []. *)

@@ -1,0 +1,31 @@
+(* site -> remaining armed charges *)
+let charges : (string, int) Hashtbl.t = Hashtbl.create 8
+
+(* site -> consumed charges since reset *)
+let consumed : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let reset () =
+  Hashtbl.reset charges;
+  Hashtbl.reset consumed
+
+let arm ?(times = 1) site =
+  if times > 0 then
+    let cur = Option.value (Hashtbl.find_opt charges site) ~default:0 in
+    Hashtbl.replace charges site (cur + times)
+
+let armed site =
+  match Hashtbl.find_opt charges site with Some n -> n > 0 | None -> false
+
+let fire site =
+  if Hashtbl.length charges = 0 then false
+  else
+    match Hashtbl.find_opt charges site with
+    | Some n when n > 0 ->
+      if n = 1 then Hashtbl.remove charges site
+      else Hashtbl.replace charges site (n - 1);
+      Hashtbl.replace consumed site
+        (1 + Option.value (Hashtbl.find_opt consumed site) ~default:0);
+      true
+    | _ -> false
+
+let fired site = Option.value (Hashtbl.find_opt consumed site) ~default:0

@@ -21,7 +21,12 @@ val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-key element, or [None] when empty. *)
 
 val pop_exn : 'a t -> float * 'a
-(** Like {!pop} but raises [Invalid_argument] when empty. *)
+(** Like {!pop} but raises [Invalid_argument "Heap.pop_exn: empty heap"]
+    when the heap is empty.  Reserve it for call sites that have already
+    established non-emptiness (e.g. directly after checking {!is_empty}
+    or {!length}); driver loops that legitimately drain the heap should
+    match on {!pop} instead, so that emptiness stays a normal control-flow
+    case rather than an exception. *)
 
 val peek : 'a t -> (float * 'a) option
 (** Minimum-key element without removing it. *)

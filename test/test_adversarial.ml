@@ -136,7 +136,7 @@ let test_degenerate_bin_width () =
   (* bin width 1: thousands of bins, fractional churn *)
   let d = Fixtures.clustered () in
   let g = Tdf_grid.Grid.build d ~bin_width:1 in
-  Tdf_grid.Grid.assign_initial g (Placement.initial d);
+  Tdf_grid.Grid.assign_initial_exn g (Placement.initial d);
   match Tdf_grid.Grid.check_invariants g with
   | Ok () -> ()
   | Error e -> Alcotest.fail e
@@ -187,6 +187,95 @@ let test_all_methods_on_hostile_case () =
       Tdf_experiments.Runner.Ours_no_d2d;
     ]
 
+(* A macro covering a row's full width leaves zero-width segments; the
+   validator must flag the die, and legalization must still succeed by
+   using the other rows / the other die. *)
+let test_zero_width_segments () =
+  let dies = two_dies () in
+  let macros =
+    (* full-width macro over rows 0-1 of die 0 *)
+    [| Blockage.make ~id:0 ~die:0 ~rect:(Rect.make ~x:0 ~y:0 ~w:100 ~h:20) () |]
+  in
+  let cells =
+    Array.init 12 (fun id -> Fixtures.cell ~id ~w0:5 ~w1:5 ~x:50 ~y:5 ~z:0.1 ())
+  in
+  let d = Design.make ~name:"zero_width_rows" ~dies ~cells ~macros () in
+  check_legal "zero-width segments" d;
+  (* a die whose every row is covered: validator reports zero capacity *)
+  let macros_all =
+    [| Blockage.make ~id:0 ~die:0 ~rect:(Rect.make ~x:0 ~y:0 ~w:100 ~h:40) () |]
+  in
+  let d_all =
+    Design.make ~name:"zero_cap_die" ~dies ~cells ~macros:macros_all ()
+  in
+  let issues = Tdf_robust.Validate.design d_all in
+  Alcotest.(check bool) "zero-capacity-die flagged" true
+    (List.exists
+       (fun (i : Tdf_robust.Validate.issue) ->
+         i.Tdf_robust.Validate.code = "zero-capacity-die")
+       issues)
+
+(* A cell wider than every segment on BOTH dies is structurally
+   unplaceable: preflight must catch it, and the typed Flow3d entry must
+   return an error rather than raise. *)
+let test_unplaceable_cell_both_dies () =
+  let dies = two_dies ~w:100 () in
+  let cells =
+    [|
+      Fixtures.cell ~id:0 ~w0:4 ~w1:4 ~x:10 ~y:5 ~z:0.2 ();
+      Fixtures.cell ~id:1 ~w0:150 ~w1:150 ~x:20 ~y:15 ~z:0.4 ();
+    |]
+  in
+  let d = Design.make ~name:"too_wide" ~dies ~cells () in
+  let issues = Tdf_robust.Validate.design d in
+  Alcotest.(check bool) "unplaceable-cell is fatal" true
+    (List.exists
+       (fun (i : Tdf_robust.Validate.issue) ->
+         i.Tdf_robust.Validate.severity = Tdf_robust.Validate.Fatal
+         && i.Tdf_robust.Validate.code = "unplaceable-cell")
+       issues);
+  (* the raw engine degrades gracefully: the oversized cell is crammed
+     into the widest segment, so the run completes but the result is
+     illegal — no crash either way *)
+  (match Flow3d.run d with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Flow3d.error_to_string e)
+  | Ok r ->
+    Alcotest.(check bool) "oversized cell cannot be legal" false
+      (Legality.is_legal d r.Flow3d.placement));
+  (* the pipeline catches it earlier, as a typed preflight rejection *)
+  match Tdf_robust.Pipeline.run d with
+  | Error e ->
+    Alcotest.(check string) "preflight" "preflight"
+      (Tdf_robust.Error.phase_name e.Tdf_robust.Error.phase)
+  | Ok _ -> Alcotest.fail "pipeline accepted an unplaceable cell"
+
+(* NaN global-placement coordinates must be caught by preflight — and the
+   repair mode must recover the design into something legalizable. *)
+let test_nan_gp_coordinates () =
+  let dies = two_dies () in
+  let cells =
+    Array.init 6 (fun id ->
+        Fixtures.cell ~id ~x:30 ~y:12
+          ~z:(if id = 2 then Float.nan else 0.3)
+          ())
+  in
+  let d = Design.make ~name:"nan_gp" ~dies ~cells () in
+  (match Tdf_robust.Pipeline.run d with
+  | Error e ->
+    Alcotest.(check string) "nan code" "nan-gp-z" e.Tdf_robust.Error.code
+  | Ok _ -> Alcotest.fail "NaN gp_z accepted");
+  match
+    Tdf_robust.Pipeline.run
+      ~opts:{ Tdf_robust.Pipeline.default_options with repair = true }
+      d
+  with
+  | Error e ->
+    Alcotest.failf "repair failed: %s" (Tdf_robust.Error.to_string e)
+  | Ok r ->
+    Alcotest.(check bool) "legal after repair" true
+      (Legality.is_legal r.Tdf_robust.Pipeline.design
+         r.Tdf_robust.Pipeline.placement)
+
 let suite =
   [
     Alcotest.test_case "empty design" `Quick test_empty_design;
@@ -204,4 +293,8 @@ let suite =
     Alcotest.test_case "zero weight rejected" `Quick test_zero_weight_rejected;
     Alcotest.test_case "all methods on hostile case" `Quick
       test_all_methods_on_hostile_case;
+    Alcotest.test_case "zero-width segments" `Quick test_zero_width_segments;
+    Alcotest.test_case "cell wider than both dies" `Quick
+      test_unplaceable_cell_both_dies;
+    Alcotest.test_case "NaN gp coordinates" `Quick test_nan_gp_coordinates;
   ]

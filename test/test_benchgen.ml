@@ -112,7 +112,7 @@ let test_creates_overflow () =
   let d = Gen.generate_by_name ~scale:0.05 Spec.Iccad2022 "case3" in
   let bw = Tdf_legalizer.Flow3d.flow_bin_width d ~factor:10. in
   let g = Tdf_grid.Grid.build d ~bin_width:bw in
-  Tdf_grid.Grid.assign_initial g (Tdf_netlist.Placement.initial d);
+  Tdf_grid.Grid.assign_initial_exn g (Tdf_netlist.Placement.initial d);
   Alcotest.(check bool) "overflow exists" true (Tdf_grid.Grid.total_overflow g > 0.)
 
 let test_hetero_widths () =

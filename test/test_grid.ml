@@ -92,7 +92,7 @@ let test_edges_symmetric () =
 let test_assign_initial_invariants () =
   let d = Fixtures.clustered () in
   let g = build_empty d in
-  G.assign_initial g (Placement.initial d);
+  G.assign_initial_exn g (Placement.initial d);
   (match G.check_invariants g with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
@@ -102,7 +102,7 @@ let test_assign_initial_invariants () =
 let test_supply_demand_math () =
   let d = Fixtures.clustered () in
   let g = build_empty d in
-  G.assign_initial g (Placement.initial d);
+  G.assign_initial_exn g (Placement.initial d);
   Array.iter
     (fun (b : G.bin) ->
       let sup = G.supply b and dem = G.demand b in
@@ -115,7 +115,7 @@ let test_supply_demand_math () =
 let test_place_remove_roundtrip () =
   let d = Fixtures.clustered () in
   let g = build_empty d in
-  G.place_cell g ~cell:0 ~die:0 ~x:50 ~y:11;
+  G.place_cell_exn g ~cell:0 ~die:0 ~x:50 ~y:11;
   Alcotest.(check bool) "assigned" true (G.segment_of_cell g 0 >= 0);
   let used_before = g.G.die_used.(0) in
   Alcotest.(check bool) "die used grows" true (used_before > 0.);
@@ -128,7 +128,7 @@ let test_fractional_assignment_spans_bins () =
   let d = Fixtures.clustered () in
   let g = G.build d ~bin_width:5 in
   (* width-6 cell at x=48 must span two 5-wide bins *)
-  G.place_cell g ~cell:0 ~die:0 ~x:48 ~y:11;
+  G.place_cell_exn g ~cell:0 ~die:0 ~x:48 ~y:11;
   let frags = g.G.cell_frags.(0) in
   Alcotest.(check bool) "at least 2 fragments" true (List.length frags >= 2);
   let total = List.fold_left (fun acc (_, r) -> acc +. r) 0. frags in
@@ -137,7 +137,7 @@ let test_fractional_assignment_spans_bins () =
 let test_move_fraction () =
   let d = Fixtures.clustered () in
   let g = build_empty d in
-  G.place_cell g ~cell:0 ~die:0 ~x:10 ~y:1;
+  G.place_cell_exn g ~cell:0 ~die:0 ~x:10 ~y:1;
   let sid = G.segment_of_cell g 0 in
   let s = g.G.segments.(sid) in
   let b0 = g.G.bins.(s.G.s_bins.(0)) and b1 = g.G.bins.(s.G.s_bins.(1)) in
@@ -154,7 +154,7 @@ let test_move_whole_changes_width () =
   let cells = [| Fixtures.cell ~id:0 ~w0:4 ~w1:8 ~x:10 ~y:1 ~z:0.0 () |] in
   let d = Design.make ~name:"w" ~dies ~cells () in
   let g = build_empty d in
-  G.place_cell g ~cell:0 ~die:0 ~x:10 ~y:1;
+  G.place_cell_exn g ~cell:0 ~die:0 ~x:10 ~y:1;
   Alcotest.(check (float 1e-6)) "uses w0" 4. g.G.die_used.(0);
   (* move to some bin on die 1 *)
   let dst =
@@ -205,7 +205,7 @@ let prop_random_ops_keep_invariants =
     (fun seed ->
       let d = Fixtures.random seed in
       let g = G.build d ~bin_width:15 in
-      G.assign_initial g (Placement.initial d);
+      G.assign_initial_exn g (Placement.initial d);
       let rng = Tdf_util.Prng.create (seed + 1) in
       for _ = 1 to 100 do
         let cell = Tdf_util.Prng.int rng (Design.n_cells d) in
@@ -229,7 +229,7 @@ let prop_random_ops_keep_invariants =
           end
         | _ ->
           G.remove_cell g ~cell;
-          G.place_cell g ~cell ~die:(Tdf_util.Prng.int rng 2)
+          G.place_cell_exn g ~cell ~die:(Tdf_util.Prng.int rng 2)
             ~x:(Tdf_util.Prng.int rng 120)
             ~y:(Tdf_util.Prng.int rng 50)
       done;

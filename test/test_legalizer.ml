@@ -19,7 +19,7 @@ let test_config_presets () =
 let overflow_grid () =
   let d = Fixtures.clustered () in
   let g = G.build d ~bin_width:20 in
-  G.assign_initial g (Placement.initial d);
+  G.assign_initial_exn g (Placement.initial d);
   (d, g)
 
 let test_select_horizontal_exact () =

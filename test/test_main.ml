@@ -19,5 +19,6 @@ let () =
       ("placer", Test_placer.suite);
       ("experiments", Test_experiments.suite);
       ("adversarial", Test_adversarial.suite);
+      ("robust", Test_robust.suite);
       ("integration", Test_integration.suite);
     ]
