@@ -4,7 +4,11 @@
 
    Environment knobs:
      TDFLOW_SCALE  case scale for the reproduction run (default 0.05)
-     TDFLOW_SKIP_MICRO  set to skip the Bechamel micro-benchmarks *)
+     TDFLOW_SKIP_MICRO  set to skip the Bechamel micro-benchmarks
+     TDFLOW_SOLVER_ONLY  run only the MCMF solver microbenchmark and exit
+     TDFLOW_SOLVER_LARGE  include the large (n=5002) solver case
+     TDFLOW_GOLDEN  path to pinned (flow, cost) values for the solver
+                    small case; exit non-zero on mismatch (CI smoke) *)
 
 open Bechamel
 
@@ -12,6 +16,226 @@ let scale =
   match Sys.getenv_opt "TDFLOW_SCALE" with
   | Some s -> (try float_of_string s with _ -> 0.05)
   | None -> 0.05
+
+(* ------------------------------------------------------------------ *)
+(* MCMF solver microbenchmark: Builder/Csr/Workspace core              *)
+(* ------------------------------------------------------------------ *)
+
+module Mcmf = Tdf_flow.Mcmf
+module Prng = Tdf_util.Prng
+module Json = Tdf_telemetry.Json
+
+(* Transportation network shaped like a legalization bin graph: source ->
+   supply bins -> windowed demand bins -> sink.  Same generator as the
+   differential tests in [test/test_flow.ml], so the pinned golden values
+   cover a graph family the test suite already cross-checks against the
+   seed solver. *)
+let transportation_edges ~supplies ~demands ~window ~seed add_edge =
+  let rng = Prng.create seed in
+  let ns = supplies and ndem = demands in
+  let source = 0 and sink = ns + ndem + 1 in
+  let sup = Array.init ns (fun _ -> 1 + Prng.int rng 8) in
+  let dem = Array.init ndem (fun _ -> 1 + Prng.int rng 8) in
+  for i = 0 to ns - 1 do
+    add_edge ~src:source ~dst:(1 + i) ~cap:sup.(i) ~cost:0
+  done;
+  for j = 0 to ndem - 1 do
+    add_edge ~src:(1 + ns + j) ~dst:sink ~cap:dem.(j) ~cost:0
+  done;
+  for i = 0 to ns - 1 do
+    let center = i * ndem / ns in
+    for dj = -window to window do
+      let j = center + dj in
+      if j >= 0 && j < ndem then
+        add_edge ~src:(1 + i) ~dst:(1 + ns + j)
+          ~cap:(min sup.(i) dem.(j))
+          ~cost:(abs dj + Prng.int rng 3)
+    done
+  done;
+  (source, sink)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let solve_csr_exn g ~ws ~source ~sink =
+  match Mcmf.solve_csr g ~ws ~source ~sink () with
+  | Ok s -> (s.Mcmf.flow, s.Mcmf.cost)
+  | Error e -> failwith (Mcmf.error_to_string e)
+
+type solver_case = {
+  sc_name : string;
+  sc_vertices : int;
+  sc_edges : int;
+  sc_flow : int;
+  sc_cost : int;
+  sc_build_s : float;
+  sc_solve_s : float;
+  sc_iters : int;
+  sc_repeat_reuse_s : float;
+  sc_repeat_rebuild_s : float;
+  sc_minor_words_solve : float;
+  sc_augmentations : int;
+}
+
+let run_solver_case ~name ~supplies ~demands ~window ~iters =
+  let n = supplies + demands + 2 in
+  let build () =
+    let b = Mcmf.Builder.create n in
+    let source, sink =
+      transportation_edges ~supplies ~demands ~window ~seed:42
+        (fun ~src ~dst ~cap ~cost ->
+          ignore (Mcmf.Builder.add_edge b ~src ~dst ~cap ~cost))
+    in
+    (Mcmf.Csr.of_builder b, source, sink)
+  in
+  let (g, source, sink), build_s = timed build in
+  let ws = Mcmf.Workspace.create () in
+  (* Fresh solve, uninstrumented, so the minor-words delta measures the
+     solver alone (an aggregating sink would bill its own allocation). *)
+  let mw0 = Gc.minor_words () in
+  let (flow, cost), solve_s =
+    timed (fun () -> solve_csr_exn g ~ws ~source ~sink)
+  in
+  let minor_words = Gc.minor_words () -. mw0 in
+  (* One instrumented re-solve to count augmentations. *)
+  let agg = Tdf_telemetry.Aggregate.create () in
+  let snk = Tdf_telemetry.Aggregate.sink agg in
+  Tdf_telemetry.install snk;
+  Mcmf.Csr.reset_caps g;
+  let flow', cost' = solve_csr_exn g ~ws ~source ~sink in
+  Tdf_telemetry.remove snk;
+  assert (flow' = flow && cost' = cost);
+  let augmentations =
+    Tdf_telemetry.Aggregate.counter_total agg "mcmf.augmentations"
+  in
+  (* Repeated solves in the hot-loop shape: reset capacities, reuse the
+     frozen graph and scratch ... *)
+  let (), repeat_reuse_s =
+    timed (fun () ->
+        for _ = 1 to iters do
+          Mcmf.Csr.reset_caps g;
+          ignore (solve_csr_exn g ~ws ~source ~sink)
+        done)
+  in
+  (* ... versus rebuilding graph and scratch from scratch every time. *)
+  let (), repeat_rebuild_s =
+    timed (fun () ->
+        for _ = 1 to iters do
+          let g, source, sink = build () in
+          let ws = Mcmf.Workspace.create () in
+          ignore (solve_csr_exn g ~ws ~source ~sink)
+        done)
+  in
+  Printf.printf
+    "  %-6s n=%5d m=%6d flow=%5d cost=%6d build=%.4fs solve=%.4fs \
+     repeat(%d): reuse=%.4fs rebuild=%.4fs minor_words=%.0f augs=%d\n%!"
+    name n (Mcmf.Csr.n_edges g) flow cost build_s solve_s iters repeat_reuse_s
+    repeat_rebuild_s minor_words augmentations;
+  {
+    sc_name = name;
+    sc_vertices = n;
+    sc_edges = Mcmf.Csr.n_edges g;
+    sc_flow = flow;
+    sc_cost = cost;
+    sc_build_s = build_s;
+    sc_solve_s = solve_s;
+    sc_iters = iters;
+    sc_repeat_reuse_s = repeat_reuse_s;
+    sc_repeat_rebuild_s = repeat_rebuild_s;
+    sc_minor_words_solve = minor_words;
+    sc_augmentations = augmentations;
+  }
+
+let solver_case_json r =
+  Json.Obj
+    [
+      ("name", Json.String r.sc_name);
+      ("n_vertices", Json.Int r.sc_vertices);
+      ("n_edges", Json.Int r.sc_edges);
+      ("flow", Json.Int r.sc_flow);
+      ("cost", Json.Int r.sc_cost);
+      ("build_s", Json.Float r.sc_build_s);
+      ("solve_s", Json.Float r.sc_solve_s);
+      ("repeat_iters", Json.Int r.sc_iters);
+      ("repeat_reuse_s", Json.Float r.sc_repeat_reuse_s);
+      ("repeat_rebuild_s", Json.Float r.sc_repeat_rebuild_s);
+      ("minor_words_solve", Json.Float r.sc_minor_words_solve);
+      ("augmentations", Json.Int r.sc_augmentations);
+      ( "minor_words_per_aug",
+        Json.Float
+          (if r.sc_augmentations = 0 then 0.
+           else r.sc_minor_words_solve /. float_of_int r.sc_augmentations) );
+    ]
+
+(* Golden file format: '#' comments plus "flow <int>" / "cost <int>"
+   lines pinning the small case.  A mismatch means the solver's arithmetic
+   changed, which the differential tests should have caught first. *)
+let check_golden path results =
+  let exp_flow = ref None and exp_cost = ref None in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match
+           String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+         with
+         | [ "flow"; v ] -> exp_flow := Some (int_of_string v)
+         | [ "cost"; v ] -> exp_cost := Some (int_of_string v)
+         | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  match
+    (!exp_flow, !exp_cost, List.find_opt (fun r -> r.sc_name = "small") results)
+  with
+  | Some f, Some c, Some r ->
+    if r.sc_flow = f && r.sc_cost = c then
+      Printf.printf "Golden check OK: small case (flow=%d, cost=%d) matches %s\n"
+        f c path
+    else begin
+      Printf.eprintf
+        "GOLDEN MISMATCH: small case solved (flow=%d, cost=%d) but %s pins \
+         (flow=%d, cost=%d)\n"
+        r.sc_flow r.sc_cost path f c;
+      exit 1
+    end
+  | _ ->
+    Printf.eprintf "GOLDEN: could not parse flow/cost from %s\n" path;
+    exit 1
+
+let run_solver_bench () =
+  Printf.printf "== MCMF solver microbenchmark (CSR core) ==\n";
+  let cases =
+    [ ("small", 24, 24, 4, 200); ("medium", 400, 400, 8, 20) ]
+    @
+    if Sys.getenv_opt "TDFLOW_SOLVER_LARGE" <> None then
+      [ ("large", 2500, 2500, 12, 5) ]
+    else []
+  in
+  let results =
+    List.map
+      (fun (name, supplies, demands, window, iters) ->
+        run_solver_case ~name ~supplies ~demands ~window ~iters)
+      cases
+  in
+  let json =
+    Json.Obj
+      [
+        ("generated_by", Json.String "bench/main.ml");
+        ("cases", Json.List (List.map solver_case_json results));
+      ]
+  in
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "Solver microbenchmark written to BENCH_solver.json\n";
+  (match Sys.getenv_opt "TDFLOW_GOLDEN" with
+  | Some path -> check_golden path results
+  | None -> ());
+  print_newline ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table / figure         *)
@@ -91,6 +315,8 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  run_solver_bench ();
+  if Sys.getenv_opt "TDFLOW_SOLVER_ONLY" <> None then exit 0;
   Printf.printf "== 3D-Flow reproduction run (scale %.3g) ==\n\n" scale;
   if Sys.getenv_opt "TDFLOW_SKIP_MICRO" = None then run_micro ();
   (* Aggregating telemetry sink over the reproduction run proper (the

@@ -1,10 +1,5 @@
-type edge = { dst : int; mutable cap : int; cost : int; rev : int }
-
-type t = {
-  n : int;
-  adj : edge array ref array;  (* adjacency as growable arrays *)
-  mutable sizes : int array;
-}
+module Budget = Tdf_util.Budget
+module Heap_int = Tdf_util.Heap_int
 
 type arc = { a_src : int; a_dst : int; a_cap : int; a_cost : int }
 
@@ -23,178 +18,322 @@ let error_to_string = function
                a.a_cost)
       |> String.concat ", ")
 
-let create n =
-  { n; adj = Array.init n (fun _ -> ref [||]); sizes = Array.make n 0 }
+(* ------------------------------------------------------------------ *)
+(* Edge staging                                                        *)
+(* ------------------------------------------------------------------ *)
 
-let n_vertices t = t.n
+module Builder = struct
+  type t = {
+    n : int;
+    mutable m : int;
+    mutable e_src : int array;
+    mutable e_dst : int array;
+    mutable e_cap : int array;
+    mutable e_cost : int array;
+  }
 
-let push_edge t v e =
-  let arr = t.adj.(v) in
-  let sz = t.sizes.(v) in
-  if sz = Array.length !arr then begin
-    let narr = Array.make (max 4 (2 * sz)) e in
-    Array.blit !arr 0 narr 0 sz;
-    arr := narr
-  end;
-  !arr.(sz) <- e;
-  t.sizes.(v) <- sz + 1
+  let create ?(edges_hint = 16) n =
+    let cap = max 1 edges_hint in
+    {
+      n;
+      m = 0;
+      e_src = Array.make cap 0;
+      e_dst = Array.make cap 0;
+      e_cap = Array.make cap 0;
+      e_cost = Array.make cap 0;
+    }
 
-let add_edge t ~src ~dst ~cap ~cost =
-  assert (cap >= 0);
-  let fwd_idx = t.sizes.(src) in
-  let rev_idx = t.sizes.(dst) + if src = dst then 1 else 0 in
-  push_edge t src { dst; cap; cost; rev = rev_idx };
-  push_edge t dst { dst = src; cap = 0; cost = -cost; rev = fwd_idx };
-  (src * 0x40000000) + fwd_idx
+  let n_vertices b = b.n
 
-(* An edge handle encodes (vertex, index). *)
-let decode_handle h = (h / 0x40000000, h mod 0x40000000)
+  let n_edges b = b.m
 
-let edge_at t v i = !(t.adj.(v)).(i)
+  let grow b =
+    let cap = Array.length b.e_src in
+    if b.m = cap then begin
+      let ncap = 2 * cap in
+      let extend a =
+        let na = Array.make ncap 0 in
+        Array.blit a 0 na 0 b.m;
+        na
+      in
+      b.e_src <- extend b.e_src;
+      b.e_dst <- extend b.e_dst;
+      b.e_cap <- extend b.e_cap;
+      b.e_cost <- extend b.e_cost
+    end
 
-let flow_on t handle =
-  let v, i = decode_handle handle in
-  let e = edge_at t v i in
-  (* flow = capacity currently on the reverse edge *)
-  (edge_at t e.dst e.rev).cap
+  let add_edge b ~src ~dst ~cap ~cost =
+    if cap < 0 then invalid_arg "Mcmf.add_edge: negative capacity";
+    if src < 0 || src >= b.n || dst < 0 || dst >= b.n then
+      invalid_arg "Mcmf.add_edge: vertex out of range";
+    grow b;
+    let k = b.m in
+    b.e_src.(k) <- src;
+    b.e_dst.(k) <- dst;
+    b.e_cap.(k) <- cap;
+    b.e_cost.(k) <- cost;
+    b.m <- k + 1;
+    k
+end
+
+(* ------------------------------------------------------------------ *)
+(* Frozen CSR residual graph                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Csr = struct
+  type t = {
+    n : int;
+    m : int;  (* staged forward edges; the residual graph has 2m arcs *)
+    head : int array;  (* n+1 bucket offsets *)
+    a_dst : int array;
+    a_cap : int array;  (* residual capacities: the only mutable state *)
+    a_cost : int array;
+    a_rev : int array;  (* csr position of the paired reverse arc *)
+    fwd_pos : int array;  (* edge handle -> csr position of its forward arc *)
+    cap0 : int array;  (* pristine capacities for reset_caps *)
+  }
+
+  (* Arc placement order mirrors the staged add_edge order per bucket
+     (forward arc first, then the reverse arc — also for self-loops), so
+     relaxation and heap tie-breaking order match the pre-CSR solver
+     exactly: frozen graphs produce bit-identical (flow, cost). *)
+  let of_builder (b : Builder.t) =
+    Tdf_telemetry.span "mcmf.csr_freeze" @@ fun () ->
+    let n = b.Builder.n and m = b.Builder.m in
+    let na = 2 * m in
+    let head = Array.make (n + 1) 0 in
+    for k = 0 to m - 1 do
+      let s = b.Builder.e_src.(k) and d = b.Builder.e_dst.(k) in
+      head.(s + 1) <- head.(s + 1) + 1;
+      head.(d + 1) <- head.(d + 1) + 1
+    done;
+    for v = 0 to n - 1 do
+      head.(v + 1) <- head.(v + 1) + head.(v)
+    done;
+    let next = Array.sub head 0 (max 1 n) in
+    let a_dst = Array.make (max 1 na) 0
+    and a_cap = Array.make (max 1 na) 0
+    and a_cost = Array.make (max 1 na) 0
+    and a_rev = Array.make (max 1 na) 0 in
+    let fwd_pos = Array.make (max 1 m) 0 in
+    for k = 0 to m - 1 do
+      let s = b.Builder.e_src.(k) and d = b.Builder.e_dst.(k) in
+      let pf = next.(s) in
+      next.(s) <- pf + 1;
+      let pb = next.(d) in
+      next.(d) <- pb + 1;
+      a_dst.(pf) <- d;
+      a_cap.(pf) <- b.Builder.e_cap.(k);
+      a_cost.(pf) <- b.Builder.e_cost.(k);
+      a_rev.(pf) <- pb;
+      a_dst.(pb) <- s;
+      a_cap.(pb) <- 0;
+      a_cost.(pb) <- -b.Builder.e_cost.(k);
+      a_rev.(pb) <- pf;
+      fwd_pos.(k) <- pf
+    done;
+    { n; m; head; a_dst; a_cap; a_cost; a_rev; fwd_pos; cap0 = Array.copy a_cap }
+
+  let n_vertices g = g.n
+
+  let n_edges g = g.m
+
+  let reset_caps g = Array.blit g.cap0 0 g.a_cap 0 (2 * g.m)
+
+  let flow_on g handle =
+    if handle < 0 || handle >= g.m then invalid_arg "Mcmf.flow_on: bad handle";
+    (* flow = capacity currently on the reverse arc *)
+    g.a_cap.(g.a_rev.(g.fwd_pos.(handle)))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reusable solver scratch                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Workspace = struct
+  type t = {
+    mutable dist : int array;
+    mutable prev_v : int array;
+    mutable prev_a : int array;
+    mutable potential : int array;
+    heap : Heap_int.t;
+    mutable solves : int;
+  }
+
+  let create () =
+    {
+      dist = [||];
+      prev_v = [||];
+      prev_a = [||];
+      potential = [||];
+      heap = Heap_int.create ();
+      solves = 0;
+    }
+
+  let ensure ws n =
+    if Array.length ws.dist < n then begin
+      ws.dist <- Array.make n 0;
+      ws.prev_v <- Array.make n 0;
+      ws.prev_a <- Array.make n 0;
+      ws.potential <- Array.make n 0
+    end;
+    Heap_int.clear ws.heap
+end
+
+(* ------------------------------------------------------------------ *)
+(* Successive shortest paths on the CSR graph                          *)
+(* ------------------------------------------------------------------ *)
 
 (* Residual arcs that can still relax after Bellman–Ford converged or ran
    out of passes: exactly the arc set witnessing a negative cycle. *)
-let relaxable_arcs t dist =
+let relaxable_arcs (g : Csr.t) dist =
   let acc = ref [] in
-  for v = 0 to t.n - 1 do
+  for v = 0 to g.Csr.n - 1 do
     if dist.(v) < max_int then
-      for i = 0 to t.sizes.(v) - 1 do
-        let e = edge_at t v i in
-        if e.cap > 0 && dist.(v) + e.cost < dist.(e.dst) then
-          acc := { a_src = v; a_dst = e.dst; a_cap = e.cap; a_cost = e.cost } :: !acc
+      for p = g.Csr.head.(v) to g.Csr.head.(v + 1) - 1 do
+        if g.Csr.a_cap.(p) > 0 && dist.(v) + g.Csr.a_cost.(p) < dist.(g.Csr.a_dst.(p))
+        then
+          acc :=
+            {
+              a_src = v;
+              a_dst = g.Csr.a_dst.(p);
+              a_cap = g.Csr.a_cap.(p);
+              a_cost = g.Csr.a_cost.(p);
+            }
+            :: !acc
       done
   done;
   List.rev !acc
 
-let bellman_ford t source dist =
-  Array.fill dist 0 t.n max_int;
+let bellman_ford (g : Csr.t) source dist =
+  let n = g.Csr.n in
+  Array.fill dist 0 n max_int;
   dist.(source) <- 0;
   let changed = ref true in
   let iters = ref 0 in
-  while !changed && !iters <= t.n do
+  while !changed && !iters <= n do
     changed := false;
     incr iters;
-    for v = 0 to t.n - 1 do
+    for v = 0 to n - 1 do
       if dist.(v) < max_int then
-        for i = 0 to t.sizes.(v) - 1 do
-          let e = edge_at t v i in
-          if e.cap > 0 && dist.(v) + e.cost < dist.(e.dst) then begin
-            dist.(e.dst) <- dist.(v) + e.cost;
+        for p = g.Csr.head.(v) to g.Csr.head.(v + 1) - 1 do
+          if
+            g.Csr.a_cap.(p) > 0
+            && dist.(v) + g.Csr.a_cost.(p) < dist.(g.Csr.a_dst.(p))
+          then begin
+            dist.(g.Csr.a_dst.(p)) <- dist.(v) + g.Csr.a_cost.(p);
             changed := true
           end
         done
     done
   done;
   Tdf_telemetry.count "mcmf.bellman_ford_passes" !iters;
-  if !iters > t.n then Error (relaxable_arcs t dist) else Ok ()
+  if !iters > n then Error (relaxable_arcs g dist) else Ok ()
 
-let solve t ~source ~sink ?(max_flow = max_int)
-    ?(budget = Tdf_util.Budget.unlimited) () =
+let solve_csr (g : Csr.t) ~(ws : Workspace.t) ~source ~sink
+    ?(max_flow = max_int) ?(budget = Budget.unlimited) () =
   Tdf_telemetry.span "mcmf.min_cost_flow" @@ fun () ->
   if Tdf_util.Failpoint.fire "mcmf.solve" then Error (Negative_cycle [])
   else begin
+    let n = g.Csr.n in
+    Workspace.ensure ws n;
+    if ws.Workspace.solves > 0 then Tdf_telemetry.incr "mcmf.ws_reuse";
+    ws.Workspace.solves <- ws.Workspace.solves + 1;
+    let telemetry = Tdf_telemetry.enabled () in
+    let mw0 = if telemetry then Gc.minor_words () else 0. in
     let pops = ref 0 and relaxations = ref 0 and augmentations = ref 0 in
-    let potential = Array.make t.n 0 in
+    let dist = ws.Workspace.dist
+    and prev_v = ws.Workspace.prev_v
+    and prev_a = ws.Workspace.prev_a
+    and potential = ws.Workspace.potential
+    and heap = ws.Workspace.heap in
+    Array.fill potential 0 n 0;
     let has_negative =
-      Array.exists
-        (fun (arr : edge array ref) ->
-          Array.exists (fun e -> e.cap > 0 && e.cost < 0) !arr)
-        t.adj
+      let rec scan p =
+        if p >= 2 * g.Csr.m then false
+        else if g.Csr.a_cap.(p) > 0 && g.Csr.a_cost.(p) < 0 then true
+        else scan (p + 1)
+      in
+      scan 0
     in
     let bf_error = ref None in
     if has_negative then begin
-      let dist = Array.make t.n max_int in
-      (match bellman_ford t source dist with
+      match bellman_ford g source dist with
       | Error arcs -> bf_error := Some (Negative_cycle arcs)
       | Ok () ->
-        for v = 0 to t.n - 1 do
+        for v = 0 to n - 1 do
           potential.(v) <- (if dist.(v) = max_int then 0 else dist.(v))
-        done)
+        done
     end;
     match !bf_error with
     | Some e -> Error e
     | None ->
-      if Tdf_util.Failpoint.fire "mcmf.timeout" then
-        Tdf_util.Budget.exhaust budget;
-      let dist = Array.make t.n max_int in
-      let prev_v = Array.make t.n (-1) in
-      let prev_e = Array.make t.n (-1) in
+      if Tdf_util.Failpoint.fire "mcmf.timeout" then Budget.exhaust budget;
       let total_flow = ref 0 and total_cost = ref 0 in
       let continue = ref true in
       let complete = ref true in
       while !continue && !total_flow < max_flow do
-        if Tdf_util.Failpoint.fire "mcmf.timeout" then
-          Tdf_util.Budget.exhaust budget;
-        if Tdf_util.Budget.exhausted budget then begin
+        if Tdf_util.Failpoint.fire "mcmf.timeout" then Budget.exhaust budget;
+        if Budget.exhausted budget then begin
           (* Out of budget: stop augmenting and hand back the partial flow. *)
           complete := false;
           continue := false
         end
         else begin
-          (* Dijkstra on reduced costs. *)
-          Array.fill dist 0 t.n max_int;
+          (* Dijkstra on reduced costs (exact integer keys). *)
+          Array.fill dist 0 n max_int;
           dist.(source) <- 0;
-          let heap = Tdf_util.Heap.create () in
-          Tdf_util.Heap.add heap ~key:0. source;
+          Heap_int.clear heap;
+          Heap_int.add heap ~key:0 source;
           let rec run () =
-            match Tdf_util.Heap.pop heap with
-            | None -> ()
-            | Some (d, v) ->
+            if not (Heap_int.is_empty heap) then begin
+              let d = Heap_int.top_key heap and v = Heap_int.top_value heap in
+              Heap_int.remove_top heap;
               incr pops;
-              let d = int_of_float d in
-              if d <= dist.(v) then begin
-                for i = 0 to t.sizes.(v) - 1 do
-                  let e = edge_at t v i in
-                  if e.cap > 0 then begin
+              if d <= dist.(v) then
+                for p = g.Csr.head.(v) to g.Csr.head.(v + 1) - 1 do
+                  if g.Csr.a_cap.(p) > 0 then begin
+                    let w = g.Csr.a_dst.(p) in
                     let nd =
-                      dist.(v) + e.cost + potential.(v) - potential.(e.dst)
+                      dist.(v) + g.Csr.a_cost.(p) + potential.(v) - potential.(w)
                     in
-                    if nd < dist.(e.dst) then begin
+                    if nd < dist.(w) then begin
                       incr relaxations;
-                      dist.(e.dst) <- nd;
-                      prev_v.(e.dst) <- v;
-                      prev_e.(e.dst) <- i;
-                      Tdf_util.Heap.add heap ~key:(float_of_int nd) e.dst
+                      dist.(w) <- nd;
+                      prev_v.(w) <- v;
+                      prev_a.(w) <- p;
+                      Heap_int.add heap ~key:nd w
                     end
                   end
-                done
-              end;
+                done;
               run ()
+            end
           in
           run ();
           if dist.(sink) = max_int then continue := false
           else begin
-            for v = 0 to t.n - 1 do
+            for v = 0 to n - 1 do
               if dist.(v) < max_int then potential.(v) <- potential.(v) + dist.(v)
             done;
             (* Bottleneck along the path. *)
             let rec bottleneck v acc =
               if v = source then acc
-              else begin
-                let e = edge_at t prev_v.(v) prev_e.(v) in
-                bottleneck prev_v.(v) (min acc e.cap)
-              end
+              else bottleneck prev_v.(v) (min acc g.Csr.a_cap.(prev_a.(v)))
             in
             let push = min (bottleneck sink max_int) (max_flow - !total_flow) in
             let rec apply v =
               if v <> source then begin
-                let e = edge_at t prev_v.(v) prev_e.(v) in
-                e.cap <- e.cap - push;
-                let r = edge_at t v e.rev in
-                r.cap <- r.cap + push;
-                total_cost := !total_cost + (push * e.cost);
+                let p = prev_a.(v) in
+                g.Csr.a_cap.(p) <- g.Csr.a_cap.(p) - push;
+                let r = g.Csr.a_rev.(p) in
+                g.Csr.a_cap.(r) <- g.Csr.a_cap.(r) + push;
+                total_cost := !total_cost + (push * g.Csr.a_cost.(p));
                 apply prev_v.(v)
               end
             in
             apply sink;
             incr augmentations;
-            Tdf_util.Budget.tick budget 1;
+            Budget.tick budget 1;
             total_flow := !total_flow + push
           end
         end
@@ -203,10 +342,54 @@ let solve t ~source ~sink ?(max_flow = max_int)
       Tdf_telemetry.count "mcmf.dijkstra_pops" !pops;
       Tdf_telemetry.count "mcmf.relaxations" !relaxations;
       if not !complete then Tdf_telemetry.incr "mcmf.budget_stops";
+      if telemetry && !augmentations > 0 then
+        Tdf_telemetry.observe "mcmf.minor_words_per_aug"
+          ((Gc.minor_words () -. mw0) /. float_of_int !augmentations);
       Ok { flow = !total_flow; cost = !total_cost; complete = !complete }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Thin staged-graph shim (the historical Mcmf API)                    *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  builder : Builder.t;
+  mutable frozen : Csr.t option;
+  mutable ws : Workspace.t option;
+}
+
+let create n = { builder = Builder.create n; frozen = None; ws = None }
+
+let n_vertices t = Builder.n_vertices t.builder
+
+let add_edge t ~src ~dst ~cap ~cost =
+  (* Staging a new edge after a freeze discards the frozen residual state:
+     the next solve sees the full graph with pristine capacities. *)
+  (match t.frozen with Some _ -> t.frozen <- None | None -> ());
+  Builder.add_edge t.builder ~src ~dst ~cap ~cost
+
+let csr t =
+  match t.frozen with
+  | Some g -> g
+  | None ->
+    let g = Csr.of_builder t.builder in
+    t.frozen <- Some g;
+    g
+
+let workspace t =
+  match t.ws with
+  | Some ws -> ws
+  | None ->
+    let ws = Workspace.create () in
+    t.ws <- Some ws;
+    ws
+
+let solve t ~source ~sink ?max_flow ?budget () =
+  solve_csr (csr t) ~ws:(workspace t) ~source ~sink ?max_flow ?budget ()
 
 let min_cost_flow t ~source ~sink ?max_flow () =
   match solve t ~source ~sink ?max_flow () with
   | Ok { flow; cost; _ } -> (flow, cost)
   | Error (Negative_cycle _) -> invalid_arg "Mcmf: negative cycle detected"
+
+let flow_on t handle = Csr.flow_on (csr t) handle

@@ -5,9 +5,27 @@
     admissible.  This is the textbook solver the paper's §III-A refers to:
     with uniform cell widths, legalization reduces exactly to this problem,
     and the library is used by tests and by [examples/uniform_optimal.exe]
-    to cross-check 3D-Flow against provably optimal solutions. *)
+    to cross-check 3D-Flow against provably optimal solutions.
 
-type t
+    {2 Solver core}
+
+    The numeric core is split into three layers so callers on the hot path
+    control allocation:
+
+    - {!Builder} stages edges into flat growable [int array]s;
+    - {!Csr} is the frozen compressed-sparse-row residual graph: five
+      [int array] fields ([head]/[dst]/[cap]/[cost]/[rev]), the only
+      mutable state being the residual capacities (resettable with
+      {!Csr.reset_caps} for repeated solves);
+    - {!Workspace} holds the per-solve scratch (dist/prev/potential labels
+      and the monomorphic int-keyed heap), allocated once and reused
+      across {!solve_csr} calls.
+
+    The classic staged-graph API ({!create}/{!add_edge}/{!solve}) is kept
+    as a thin shim over these layers: it freezes the builder on first
+    solve and caches one workspace per graph.  Arc ordering in the frozen
+    graph matches staging order, so the CSR solver returns bit-identical
+    [(flow, cost)] to the historical adjacency-list implementation. *)
 
 type arc = { a_src : int; a_dst : int; a_cap : int; a_cost : int }
 (** A residual arc, reported in {!error} diagnostics. *)
@@ -30,14 +48,94 @@ type solution = {
           the best-effort partial flow pushed so far. *)
 }
 
+module Builder : sig
+  type t
+
+  val create : ?edges_hint:int -> int -> t
+  (** [create n] stages a graph on vertices [0 .. n-1]; [edges_hint]
+      pre-sizes the edge arrays. *)
+
+  val n_vertices : t -> int
+
+  val n_edges : t -> int
+
+  val add_edge : t -> src:int -> dst:int -> cap:int -> cost:int -> int
+  (** Stages a directed edge and returns its handle: the explicit arc id
+      [0 .. n_edges-1] in staging order (no vertex/index bit-packing, so
+      handles never alias regardless of graph size).  Requires [cap >= 0]
+      and in-range endpoints ([Invalid_argument] otherwise).  Self-loops
+      and parallel edges are allowed. *)
+end
+
+module Csr : sig
+  type t
+  (** Frozen residual graph in compressed-sparse-row form.  Immutable
+      except for the residual capacities, which {!solve_csr} updates and
+      {!reset_caps} restores. *)
+
+  val of_builder : Builder.t -> t
+  (** Freeze the staged edges.  The builder remains usable (freezing again
+      yields an independent graph with pristine capacities). *)
+
+  val n_vertices : t -> int
+
+  val n_edges : t -> int
+  (** Staged (forward) edges; the residual graph holds twice as many arcs. *)
+
+  val reset_caps : t -> unit
+  (** Restore all residual capacities to their staged values, undoing any
+      flow pushed by previous solves — the cheap path to repeated solves
+      on one graph. *)
+
+  val flow_on : t -> int -> int
+  (** Flow currently routed through an edge handle (as returned by
+      {!Builder.add_edge}). *)
+end
+
+module Workspace : sig
+  type t
+  (** Reusable solver scratch: distance/parent/potential labels plus the
+      Dijkstra heap.  Sized lazily to the largest graph solved with it;
+      sharing one workspace across solves (even of different graphs)
+      changes no results — only allocation. *)
+
+  val create : unit -> t
+end
+
+val solve_csr :
+  Csr.t ->
+  ws:Workspace.t ->
+  source:int ->
+  sink:int ->
+  ?max_flow:int ->
+  ?budget:Tdf_util.Budget.t ->
+  unit ->
+  (solution, error) result
+(** Core solver: push up to [max_flow] units along successive shortest
+    paths on the frozen graph, reusing [ws] for all scratch.  Semantics
+    are those of {!solve}; reusing a workspace bumps the ["mcmf.ws_reuse"]
+    telemetry counter, and (when telemetry is enabled) minor-heap
+    allocation per augmentation is reported as
+    ["mcmf.minor_words_per_aug"]. *)
+
+(** {2 Staged-graph shim} *)
+
+type t
+(** A staged graph plus its lazily frozen {!Csr.t} and cached
+    {!Workspace.t}.  Residual state survives across calls exactly as the
+    historical implementation's did: solving twice continues on the
+    residual graph, while staging a new edge after a solve starts over
+    from pristine capacities. *)
+
 val create : int -> t
 (** [create n] makes an empty graph on vertices [0 .. n-1]. *)
 
 val n_vertices : t -> int
 
 val add_edge : t -> src:int -> dst:int -> cap:int -> cost:int -> int
-(** Adds a directed edge and its residual reverse edge; returns an edge
-    handle for {!flow_on}.  Requires [cap >= 0]. *)
+(** Adds a directed edge and its residual reverse edge; returns the edge's
+    arc-id handle for {!flow_on} (see {!Builder.add_edge}).  Requires
+    [cap >= 0]. *)
 
 val solve :
   t ->

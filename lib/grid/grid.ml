@@ -411,6 +411,32 @@ let assign_initial_exn t p =
   | Ok () -> ()
   | Error e -> invalid_arg ("Grid.assign_initial: " ^ place_error_to_string e)
 
+let reset t =
+  Array.iter
+    (fun b ->
+      b.frags <- [];
+      b.used <- 0.)
+    t.bins;
+  let nc = Array.length t.cell_frags in
+  Array.fill t.cell_frags 0 nc [];
+  Array.fill t.cell_seg 0 nc (-1);
+  Array.fill t.die_used 0 (Array.length t.die_used) 0.;
+  Tdf_telemetry.incr "grid.resets"
+
+let reset_to t targets =
+  reset t;
+  let n = Array.length targets in
+  let rec go cell =
+    if cell >= n then Ok ()
+    else begin
+      let x, y, die = targets.(cell) in
+      match place_cell t ~cell ~die ~x ~y with
+      | Ok () -> go (cell + 1)
+      | Error _ as e -> e
+    end
+  in
+  go 0
+
 let remove_cell t ~cell =
   let frags = t.cell_frags.(cell) in
   List.iter

@@ -123,6 +123,20 @@ val assign_initial : t -> Tdf_netlist.Placement.t -> (unit, place_error) result
 val assign_initial_exn : t -> Tdf_netlist.Placement.t -> unit
 (** {!assign_initial}, raising [Invalid_argument] on error. *)
 
+val reset : t -> unit
+(** Remove every cell assignment while keeping the bins, segments and
+    adjacency intact, returning the grid to its just-built state.  Bumps
+    the ["grid.resets"] telemetry counter.  The graph structure depends
+    only on the design and the bin width, so one grid instance can be
+    reset and refilled across legalization passes instead of rebuilt. *)
+
+val reset_to :
+  t -> (int * int * int) array -> (unit, place_error) result
+(** [reset_to t targets] is {!reset} followed by placing each cell [c] at
+    [targets.(c) = (x, y, die)] via {!place_cell} — the reuse counterpart
+    of building a fresh grid and assigning a target placement.  Stops at
+    the first unplaceable cell. *)
+
 val remove_cell : t -> cell:int -> unit
 (** Remove all fractions of a cell from the grid. *)
 

@@ -1,4 +1,5 @@
-module Heap = Tdf_util.Heap
+module Grid = Tdf_grid.Grid
+module Heap = Tdf_util.Heap_int
 
 type node = { pn_bin : int; pn_flow_in : float; pn_need_out : float }
 
@@ -11,9 +12,14 @@ type state = {
   visited : int array;  (* epoch stamp *)
   cd_cache : int array;  (* memoized cur_disp per cell *)
   cd_epoch : int array;
+  heap : Heap.t;  (* hoisted search frontier, cleared per search *)
   mutable epoch : int;
   mutable pops : int;
 }
+
+(* Path costs are floats (weighted displacements); the frontier orders
+   them as exact micro-units so the heap stays monomorphic on ints. *)
+let micro c = int_of_float (Float.round (c *. 1e6))
 
 let create_state grid =
   let n = Grid.n_bins grid in
@@ -25,6 +31,7 @@ let create_state grid =
     visited = Array.make n 0;
     cd_cache = Array.make nc 0;
     cd_epoch = Array.make nc 0;
+    heap = Heap.create ();
     epoch = 0;
     pops = 0;
   }
@@ -70,18 +77,22 @@ let search cfg grid st ~src =
   if sup <= 0. then None
   else begin
     let sels = ref 0 in
-    let q = Heap.create () in
+    let q = st.heap in
+    Heap.clear q;
     st.cost.(src.Grid.id) <- 0.;
     st.flow.(src.Grid.id) <- sup;
     st.parent.(src.Grid.id) <- -1;
     st.visited.(src.Grid.id) <- epoch;
-    Heap.add q ~key:0. src.Grid.id;
+    Heap.add q ~key:0 src.Grid.id;
     let best_cost = ref infinity and best_leaf = ref (-1) in
     let rec loop () =
-      match Heap.pop q with
-      | None -> ()
-      | Some (cost_u, uid) ->
+      if not (Heap.is_empty q) then begin
+        let uid = Heap.top_value q in
+        Heap.remove_top q;
         st.pops <- st.pops + 1;
+        (* Each bin is pushed at most once per epoch (visited on push), so
+           its exact float cost is the stored label. *)
+        let cost_u = st.cost.(uid) in
         let u = grid.Grid.bins.(uid) in
         if cost_u <= bound cfg grid src !best_cost then begin
           let need = st.flow.(uid) -. Grid.demand u in
@@ -115,12 +126,13 @@ let search cfg grid st ~src =
                           best_leaf := vid
                         end
                       end
-                      else Heap.add q ~key:st.cost.(vid) vid
+                      else Heap.add q ~key:(micro st.cost.(vid)) vid
                     end
                 end)
               grid.Grid.edges.(uid)
         end;
         loop ()
+      end
     in
     loop ();
     Tdf_telemetry.count "flow3d.augment.pops" st.pops;

@@ -6,8 +6,11 @@
     branches costlier than [(1 + α)·cost(p_best)] are pruned (line 13).  A
     bin whose incoming flow fits its demand is a candidate leaf (line 14).
 
-    The per-bin label arrays are allocated once and reused across searches
-    via epoch stamps. *)
+    The per-bin label arrays and the frontier heap are allocated once and
+    reused across searches via epoch stamps. *)
+
+module Grid = Tdf_grid.Grid
+(** Canonical grid substrate (no local shim module). *)
 
 type node = {
   pn_bin : int;  (** bin id on the path *)

@@ -1,4 +1,5 @@
-module Heap = Tdf_util.Heap
+module Grid = Tdf_grid.Grid
+module Heap = Tdf_util.Heap_int
 module Design = Tdf_netlist.Design
 module Die = Tdf_netlist.Die
 module Cell = Tdf_netlist.Cell
@@ -45,14 +46,21 @@ let flow_bin_width design ~factor =
 
 let eps = 1e-6
 
+(* Supplies are queued as exact micro-units so the priority heap stays
+   monomorphic on ints and staleness is plain integer (in)equality —
+   no epsilon dance against a negated float key.  One micro-unit mirrors
+   the historical [eps = 1e-6] resolution threshold. *)
+let supply_micro b = int_of_float (Float.round (Grid.supply b *. 1e6))
+
 (* Alg. 2 lines 4-10: resolve supply bins in descending supply order. *)
 let flow_pass cfg ~budget grid =
   Tdf_telemetry.span "flow3d.flow_pass" @@ fun () ->
   let state = Augment.create_state grid in
+  let scratch = Mover.create_scratch () in
   let q = Heap.create () in
   let retries = Hashtbl.create 64 in
   List.iter
-    (fun (b : Grid.bin) -> Heap.add q ~key:(-.Grid.supply b) b.Grid.id)
+    (fun (b : Grid.bin) -> Heap.add q ~key:(-supply_micro b) b.Grid.id)
     (Grid.overflowed_bins grid);
   let augmentations = ref 0 and expansions = ref 0 and failed = ref 0 in
   let reliefs = ref 0 in
@@ -71,25 +79,25 @@ let flow_pass cfg ~budget grid =
       | None -> ()
       | Some (key, bid) ->
       let b = grid.Grid.bins.(bid) in
-      let sup = Grid.supply b in
-      if sup <= eps then loop ()
-      else if Float.abs (sup +. key) > eps then begin
+      let msup = supply_micro b in
+      if msup <= 1 then loop ()
+      else if key <> -msup then begin
         (* stale priority: reinsert with the current supply *)
-        Heap.add q ~key:(-.sup) bid;
+        Heap.add q ~key:(-msup) bid;
         loop ()
       end
       else begin
-        let requeue_or_fail sup' =
+        let requeue_or_fail msup' =
           let r = try Hashtbl.find retries bid with Not_found -> 0 in
-          if sup' < sup -. eps then begin
+          if msup' < msup then begin
             (* progress: keep going *)
             Hashtbl.replace retries bid 0;
-            Heap.add q ~key:(-.sup') bid
+            Heap.add q ~key:(-msup') bid
           end
           else if r + 1 <= cfg.Config.max_retries then begin
             (* No progress; other augmentations may free space — retry. *)
             Hashtbl.replace retries bid (r + 1);
-            Heap.add q ~key:(-.sup') bid
+            Heap.add q ~key:(-msup') bid
           end
           else incr failed
         in
@@ -98,17 +106,17 @@ let flow_pass cfg ~budget grid =
           expansions := !expansions + Augment.expansions state;
           if !reliefs < relief_budget && Relief.relieve cfg grid ~src:b then begin
             incr reliefs;
-            let sup' = Grid.supply b in
-            if sup' > eps then Heap.add q ~key:(-.sup') bid
+            let msup' = supply_micro b in
+            if msup' > 1 then Heap.add q ~key:(-msup') bid
           end
-          else requeue_or_fail (Grid.supply b)
+          else requeue_or_fail (supply_micro b)
         | Some path ->
           incr augmentations;
           Tdf_util.Budget.tick budget 1;
           expansions := !expansions + Augment.expansions state;
-          let _ = Mover.realize cfg grid path in
-          let sup' = Grid.supply b in
-          if sup' > eps then requeue_or_fail sup');
+          let _ = Mover.realize cfg grid scratch path in
+          let msup' = supply_micro b in
+          if msup' > 1 then requeue_or_fail msup');
         loop ()
       end
   in
@@ -178,14 +186,14 @@ let max_disp design p =
   done;
   !m
 
-(* Raises [Place_failed] on an unplaceable cell; [run] catches it. *)
-let one_pass cfg ~budget design ~bin_factor (start : Placement.t)
+(* Raises [Place_failed] on an unplaceable cell; [run] catches it.  When
+   [reuse] carries the grid of a previous pass at the same bin width, the
+   bins/segments/adjacency are kept and only the assignment is rebuilt
+   ([Grid.reset_to]) instead of reconstructing the whole graph. *)
+let one_pass cfg ~budget design ~bin_factor ?reuse (start : Placement.t)
     (targets : (int * int * int) array option) =
-  let bw = flow_bin_width design ~factor:bin_factor in
-  let grid =
-    Tdf_telemetry.span "flow3d.grid_build" @@ fun () ->
-    let grid = Grid.build design ~bin_width:bw in
-    (match targets with
+  let fill grid =
+    match targets with
     | None ->
       (match Grid.assign_initial grid start with
       | Ok () -> ()
@@ -196,15 +204,41 @@ let one_pass cfg ~budget design ~bin_factor (start : Placement.t)
           match Grid.place_cell grid ~cell ~die ~x ~y with
           | Ok () -> ()
           | Error e -> raise (Place_failed e))
-        tgts);
-    grid
+        tgts
+  in
+  let grid =
+    match reuse with
+    | Some grid ->
+      Tdf_telemetry.span "flow3d.grid_reset" @@ fun () ->
+      (match targets with
+      | Some tgts -> (
+        match Grid.reset_to grid tgts with
+        | Ok () -> ()
+        | Error e -> raise (Place_failed e))
+      | None ->
+        Grid.reset grid;
+        fill grid);
+      grid
+    | None ->
+      Tdf_telemetry.span "flow3d.grid_build" @@ fun () ->
+      let bw = flow_bin_width design ~factor:bin_factor in
+      let grid = Grid.build design ~bin_width:bw in
+      fill grid;
+      grid
   in
   let augmentations, expansions, failed, reliefs, complete =
     flow_pass cfg ~budget grid
   in
   let p = Placement.copy start in
   finalize grid p;
-  (p, augmentations, expansions, failed, reliefs, Grid.total_overflow grid, complete)
+  ( p,
+    augmentations,
+    expansions,
+    failed,
+    reliefs,
+    Grid.total_overflow grid,
+    complete,
+    grid )
 
 let count_d2d design (p : Placement.t) =
   let nd = Design.n_dies design in
@@ -226,7 +260,7 @@ let run ?(cfg = Config.default) ?(budget = Tdf_util.Budget.unlimited) ?start
       match start with Some p -> p | None -> Placement.initial design
     in
     try
-      let p, aug, exp_, failed, reliefs, residual, complete =
+      let p, aug, exp_, failed, reliefs, residual, complete, _ =
         one_pass cfg ~budget design ~bin_factor:cfg.Config.bin_width_factor
           start None
       in
@@ -237,6 +271,9 @@ let run ?(cfg = Config.default) ?(budget = Tdf_util.Budget.unlimited) ?start
       let complete = ref complete in
       let rounds = ref 0 in
       if cfg.Config.post_opt then begin
+        (* All post-opt passes share one bin width, so the first pass's
+           grid instance is reset and reused by the following ones. *)
+        let post_grid = ref None in
         let continue = ref true and pass = ref 0 in
         while
           !continue
@@ -261,10 +298,12 @@ let run ?(cfg = Config.default) ?(budget = Tdf_util.Budget.unlimited) ?start
                       (!p).Placement.y.(c),
                       (!p).Placement.die.(c) ))
             in
-            let p', aug', exp', failed', reliefs', residual', complete' =
+            let p', aug', exp', failed', reliefs', residual', complete', grid' =
               one_pass cfg ~budget design
-                ~bin_factor:cfg.Config.post_bin_width_factor !p (Some targets)
+                ~bin_factor:cfg.Config.post_bin_width_factor ?reuse:!post_grid
+                !p (Some targets)
             in
+            post_grid := Some grid';
             aug := !aug + aug';
             exp_ := !exp_ + exp';
             reliefs := !reliefs + reliefs';

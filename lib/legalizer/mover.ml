@@ -1,3 +1,23 @@
+module Grid = Tdf_grid.Grid
+
+type scratch = {
+  mutable s_nodes : Augment.node array;
+  mutable s_len : int;
+}
+
+let dummy_node = { Augment.pn_bin = -1; pn_flow_in = 0.; pn_need_out = 0. }
+
+let create_scratch () = { s_nodes = [||]; s_len = 0 }
+
+(* Copy the path into the reusable node buffer (grown geometrically), so
+   realization allocates nothing per augmentation. *)
+let load_path scratch path =
+  let n = List.length path in
+  if Array.length scratch.s_nodes < n then
+    scratch.s_nodes <- Array.make (max 16 (2 * n)) dummy_node;
+  List.iteri (fun i nd -> scratch.s_nodes.(i) <- nd) path;
+  scratch.s_len <- n
+
 let edge_kind _grid ~src ~dst =
   if src.Grid.seg = dst.Grid.seg then Grid.Horizontal
   else if src.Grid.die = dst.Grid.die then Grid.Vertical
@@ -19,10 +39,11 @@ let apply_selection grid ~src ~dst ~kind (sel : Select.selection) =
     sel.Select.picks;
   !d2d_moves
 
-let realize cfg grid path =
+let realize cfg grid scratch path =
   Tdf_telemetry.span "flow3d.mover" @@ fun () ->
-  let nodes = Array.of_list path in
-  let n = Array.length nodes in
+  load_path scratch path;
+  let nodes = scratch.s_nodes in
+  let n = scratch.s_len in
   let d2d_moves = ref 0 in
   let sels = ref 0 in
   (* Backtrack: move into the leaf first, the root last, so every selection

@@ -1,3 +1,4 @@
+module Grid = Tdf_grid.Grid
 module Design = Tdf_netlist.Design
 module Cell = Tdf_netlist.Cell
 

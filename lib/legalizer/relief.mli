@@ -8,6 +8,9 @@
     (Tetris-like) displacement cost.  Rare on realistic utilizations; the
     driver counts its uses in the run statistics. *)
 
+module Grid = Tdf_grid.Grid
+(** Canonical grid substrate (no local shim module). *)
+
 val relieve : Config.t -> Grid.t -> src:Grid.bin -> bool
 (** Move the cheapest movable cell of [src] into the nearest bin whose
     demand covers the cell's width (respecting the D2D configuration and

@@ -11,6 +11,9 @@
     cell's fragments); cells are taken in increasing movement cost until the
     width freed in the source bin reaches the needed flow. *)
 
+module Grid = Tdf_grid.Grid
+(** Canonical grid substrate (no local shim module). *)
+
 type pick = {
   p_cell : int;
   p_rho : float;  (** fraction moved; 1.0 for whole-cell moves *)

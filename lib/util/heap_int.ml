@@ -1,0 +1,82 @@
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 0) () =
+  { keys = Array.make (max 0 capacity) 0;
+    vals = Array.make (max 0 capacity) 0;
+    size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h =
+  let cap = Array.length h.keys in
+  if h.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nk = Array.make ncap 0 and nv = Array.make ncap 0 in
+    Array.blit h.keys 0 nk 0 h.size;
+    Array.blit h.vals 0 nv 0 h.size;
+    h.keys <- nk;
+    h.vals <- nv
+  end
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- k;
+  h.vals.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if h.keys.(p) > h.keys.(i) then begin
+      swap h p i;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < h.size && h.keys.(l) < h.keys.(i) then l else i in
+  let m = if r < h.size && h.keys.(r) < h.keys.(m) then r else m in
+  if m <> i then begin
+    swap h m i;
+    sift_down h m
+  end
+
+let add h ~key value =
+  grow h;
+  h.keys.(h.size) <- key;
+  h.vals.(h.size) <- value;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let top_key h =
+  if h.size = 0 then invalid_arg "Heap_int.top_key: empty heap";
+  h.keys.(0)
+
+let top_value h =
+  if h.size = 0 then invalid_arg "Heap_int.top_value: empty heap";
+  h.vals.(0)
+
+let remove_top h =
+  if h.size = 0 then invalid_arg "Heap_int.remove_top: empty heap";
+  h.size <- h.size - 1;
+  h.keys.(0) <- h.keys.(h.size);
+  h.vals.(0) <- h.vals.(h.size);
+  if h.size > 0 then sift_down h 0
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let k = h.keys.(0) and v = h.vals.(0) in
+    remove_top h;
+    Some (k, v)
+  end
+
+let clear h = h.size <- 0

@@ -123,6 +123,199 @@ let prop_matches_brute_force =
       let bf_flow, bf_cost = brute_force_min_cost n edges ~source:0 ~sink:(n - 1) in
       flow = bf_flow && cost = bf_cost)
 
+(* ------------------------------------------------------------------ *)
+(* Arc-id handles: self-loops and parallel edges                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_arc_id_handles () =
+  (* Handles are explicit arc ids in staging order — no (vertex, index)
+     bit-packing that aliased for vertex counts >= 2^30. *)
+  let g = M.create 2 in
+  let h0 = M.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:1 in
+  let h1 = M.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:5 in
+  Alcotest.(check int) "first arc id" 0 h0;
+  Alcotest.(check int) "second arc id" 1 h1;
+  let flow, cost = M.min_cost_flow g ~source:0 ~sink:1 () in
+  Alcotest.(check int) "parallel flow" 2 flow;
+  Alcotest.(check int) "parallel cost" 6 cost;
+  Alcotest.(check int) "cheap parallel arc saturated" 1 (M.flow_on g h0);
+  Alcotest.(check int) "dear parallel arc saturated" 1 (M.flow_on g h1)
+
+let test_self_loop () =
+  let g = M.create 2 in
+  let h_loop = M.add_edge g ~src:0 ~dst:0 ~cap:5 ~cost:1 in
+  let h_fwd = M.add_edge g ~src:0 ~dst:1 ~cap:3 ~cost:2 in
+  let flow, cost = M.min_cost_flow g ~source:0 ~sink:1 () in
+  Alcotest.(check int) "flow ignores self-loop" 3 flow;
+  Alcotest.(check int) "cost ignores self-loop" 6 cost;
+  Alcotest.(check int) "no flow on self-loop" 0 (M.flow_on g h_loop);
+  Alcotest.(check int) "forward arc saturated" 3 (M.flow_on g h_fwd)
+
+let test_negative_self_loop_is_cycle () =
+  (* A negative-cost self-loop is the smallest negative cycle; the
+     reverse-arc index adjustment for self-loops must not corrupt it. *)
+  let g = M.create 2 in
+  ignore (M.add_edge g ~src:0 ~dst:0 ~cap:1 ~cost:(-3));
+  ignore (M.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:1);
+  match M.solve g ~source:0 ~sink:1 () with
+  | Ok _ -> Alcotest.fail "negative self-loop must be detected"
+  | Error (M.Negative_cycle arcs) ->
+    Alcotest.(check bool) "offending arc reported" true
+      (List.exists (fun (a : M.arc) -> a.M.a_cost = -3) arcs)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: CSR solver vs the seed SSP implementation             *)
+(* ------------------------------------------------------------------ *)
+
+let check_against_ref ~what edges n ~source ~sink =
+  let g = M.create n in
+  let r = Ref_ssp.create n in
+  List.iter
+    (fun (src, dst, cap, cost) ->
+      ignore (M.add_edge g ~src ~dst ~cap ~cost);
+      ignore (Ref_ssp.add_edge r ~src ~dst ~cap ~cost))
+    edges;
+  let flow, cost = M.min_cost_flow g ~source ~sink () in
+  let rflow, rcost = Ref_ssp.min_cost_flow r ~source ~sink () in
+  Alcotest.(check int) (what ^ ": flow matches seed") rflow flow;
+  Alcotest.(check int) (what ^ ": cost matches seed") rcost cost
+
+let test_differential_random () =
+  (* >= 200 seeded random graphs.  Half allow cycles (non-negative costs,
+     self-loops and parallel edges included); half are DAGs with negative
+     costs (src < dst, so no directed cycle and Bellman–Ford potentials
+     are exercised without negative cycles). *)
+  let rng = Tdf_util.Prng.create 20250806 in
+  for case = 0 to 219 do
+    let n = 2 + Tdf_util.Prng.int rng 18 in
+    let m = 1 + Tdf_util.Prng.int rng 60 in
+    let negative = case mod 2 = 1 in
+    let edges = ref [] in
+    for _ = 1 to m do
+      let s = Tdf_util.Prng.int rng n and d = Tdf_util.Prng.int rng n in
+      let cap = Tdf_util.Prng.int rng 9 in
+      if negative then begin
+        let s, d = (min s d, max s d) in
+        if s <> d then begin
+          let cost = Tdf_util.Prng.int rng 21 - 10 in
+          edges := (s, d, cap, cost) :: !edges
+        end
+      end
+      else begin
+        let cost = Tdf_util.Prng.int rng 11 in
+        edges := (s, d, cap, cost) :: !edges
+      end
+    done;
+    check_against_ref
+      ~what:(Printf.sprintf "random case %d" case)
+      (List.rev !edges) n ~source:0 ~sink:(n - 1)
+  done
+
+(* Transportation network shaped like the paper's legalization bin graphs
+   (the generator the solver microbenchmark uses): source -> supply bins
+   -> demand bins (windowed adjacency) -> sink. *)
+let transportation_edges ~supplies ~demands ~window ~seed =
+  let rng = Tdf_util.Prng.create seed in
+  let sup = Array.init supplies (fun _ -> 1 + Tdf_util.Prng.int rng 8) in
+  let dem = Array.init demands (fun _ -> 1 + Tdf_util.Prng.int rng 8) in
+  let source = 0 and sink = supplies + demands + 1 in
+  let edges = ref [] in
+  for i = 0 to supplies - 1 do
+    edges := (source, 1 + i, sup.(i), 0) :: !edges
+  done;
+  for j = 0 to demands - 1 do
+    edges := (1 + supplies + j, sink, dem.(j), 0) :: !edges
+  done;
+  for i = 0 to supplies - 1 do
+    let center = i * demands / supplies in
+    for dj = -window to window do
+      let j = center + dj in
+      if j >= 0 && j < demands then
+        edges :=
+          ( 1 + i,
+            1 + supplies + j,
+            min sup.(i) dem.(j),
+            abs dj + Tdf_util.Prng.int rng 3 )
+          :: !edges
+    done
+  done;
+  (List.rev !edges, sink + 1, source, sink)
+
+let test_differential_benchmark_graphs () =
+  List.iter
+    (fun (supplies, demands, window, seed) ->
+      let edges, n, source, sink =
+        transportation_edges ~supplies ~demands ~window ~seed
+      in
+      check_against_ref
+        ~what:(Printf.sprintf "transportation %dx%d" supplies demands)
+        edges n ~source ~sink)
+    [ (8, 8, 2, 1); (24, 24, 4, 42); (40, 32, 6, 7); (64, 64, 5, 11) ]
+
+(* ------------------------------------------------------------------ *)
+(* Workspace reuse                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let solve_fresh edges n ~source ~sink =
+  let b = M.Builder.create n in
+  List.iter
+    (fun (src, dst, cap, cost) ->
+      ignore (M.Builder.add_edge b ~src ~dst ~cap ~cost))
+    edges;
+  let g = M.Csr.of_builder b in
+  let ws = M.Workspace.create () in
+  match M.solve_csr g ~ws ~source ~sink () with
+  | Ok s -> (s.M.flow, s.M.cost)
+  | Error _ -> Alcotest.fail "unexpected negative cycle"
+
+let test_workspace_reuse_determinism () =
+  (* Two consecutive solves on one shared workspace must equal two fresh
+     solves with private workspaces. *)
+  let e1, n1, s1, t1 = transportation_edges ~supplies:16 ~demands:16 ~window:3 ~seed:5 in
+  let e2, n2, s2, t2 = transportation_edges ~supplies:30 ~demands:24 ~window:4 ~seed:9 in
+  let shared = M.Workspace.create () in
+  let solve_with_shared edges n ~source ~sink =
+    let b = M.Builder.create n in
+    List.iter
+      (fun (src, dst, cap, cost) ->
+        ignore (M.Builder.add_edge b ~src ~dst ~cap ~cost))
+      edges;
+    match M.solve_csr (M.Csr.of_builder b) ~ws:shared ~source ~sink () with
+    | Ok s -> (s.M.flow, s.M.cost)
+    | Error _ -> Alcotest.fail "unexpected negative cycle"
+  in
+  let r1 = solve_with_shared e1 n1 ~source:s1 ~sink:t1 in
+  let r2 = solve_with_shared e2 n2 ~source:s2 ~sink:t2 in
+  Alcotest.(check (pair int int))
+    "first solve on shared workspace" (solve_fresh e1 n1 ~source:s1 ~sink:t1) r1;
+  Alcotest.(check (pair int int))
+    "second solve on shared workspace" (solve_fresh e2 n2 ~source:s2 ~sink:t2) r2
+
+let test_reset_caps_repeated_solve () =
+  let edges, n, source, sink =
+    transportation_edges ~supplies:20 ~demands:20 ~window:3 ~seed:3
+  in
+  let b = M.Builder.create n in
+  let handles =
+    List.map
+      (fun (src, dst, cap, cost) -> M.Builder.add_edge b ~src ~dst ~cap ~cost)
+      edges
+  in
+  let g = M.Csr.of_builder b in
+  let ws = M.Workspace.create () in
+  let solve () =
+    match M.solve_csr g ~ws ~source ~sink () with
+    | Ok s -> (s.M.flow, s.M.cost)
+    | Error _ -> Alcotest.fail "unexpected negative cycle"
+  in
+  let r1 = solve () in
+  let flows1 = List.map (M.Csr.flow_on g) handles in
+  M.Csr.reset_caps g;
+  let r2 = solve () in
+  let flows2 = List.map (M.Csr.flow_on g) handles in
+  Alcotest.(check (pair int int)) "reset_caps solve identical" r1 r2;
+  Alcotest.(check (list int)) "per-arc flows identical" flows1 flows2
+
 let suite =
   [
     Alcotest.test_case "single edge" `Quick test_single_edge;
@@ -131,5 +324,17 @@ let suite =
     Alcotest.test_case "rerouting via residual" `Quick test_rerouting_via_residual;
     Alcotest.test_case "negative edge costs" `Quick test_negative_edge_costs;
     Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "arc-id handles (parallel edges)" `Quick test_arc_id_handles;
+    Alcotest.test_case "self-loop" `Quick test_self_loop;
+    Alcotest.test_case "negative self-loop detected" `Quick
+      test_negative_self_loop_is_cycle;
+    Alcotest.test_case "differential vs seed SSP (220 random)" `Quick
+      test_differential_random;
+    Alcotest.test_case "differential vs seed SSP (transportation)" `Quick
+      test_differential_benchmark_graphs;
+    Alcotest.test_case "workspace reuse determinism" `Quick
+      test_workspace_reuse_determinism;
+    Alcotest.test_case "reset_caps repeated solve" `Quick
+      test_reset_caps_repeated_solve;
     QCheck_alcotest.to_alcotest prop_matches_brute_force;
   ]

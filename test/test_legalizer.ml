@@ -86,7 +86,7 @@ let test_augment_resolves_overflow () =
     let root = List.hd path in
     Alcotest.(check int) "rooted at src" src.G.id root.L.Augment.pn_bin;
     let before = G.supply src in
-    let _ = L.Mover.realize cfg g path in
+    let _ = L.Mover.realize cfg g (L.Mover.create_scratch ()) path in
     Alcotest.(check bool) "supply reduced" true (G.supply src < before);
     (match G.check_invariants g with Ok () -> () | Error e -> Alcotest.fail e)
   | None -> Alcotest.fail "expected augmenting path"

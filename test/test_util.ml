@@ -110,6 +110,76 @@ let prop_heap_sorts =
       let drained = drain [] in
       drained = List.sort compare keys)
 
+module Heap_int = Tdf_util.Heap_int
+
+let test_heap_int_pop_order () =
+  let h = Heap_int.create () in
+  List.iter (fun k -> Heap_int.add h ~key:k k) [ 3; 1; 2; -5; 10; 0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap_int.pop h with
+    | Some (k, _) ->
+      order := k :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ -5; 0; 1; 2; 3; 10 ] (List.rev !order)
+
+let test_heap_int_top_accessors () =
+  let h = Heap_int.create ~capacity:4 () in
+  Heap_int.add h ~key:5 50;
+  Heap_int.add h ~key:2 20;
+  Heap_int.add h ~key:7 70;
+  Alcotest.(check int) "top key" 2 (Heap_int.top_key h);
+  Alcotest.(check int) "top value" 20 (Heap_int.top_value h);
+  Heap_int.remove_top h;
+  Alcotest.(check int) "next key" 5 (Heap_int.top_key h);
+  Alcotest.(check int) "length" 2 (Heap_int.length h);
+  Heap_int.clear h;
+  Alcotest.(check bool) "cleared" true (Heap_int.is_empty h);
+  Alcotest.check_raises "top_key raises"
+    (Invalid_argument "Heap_int.top_key: empty heap") (fun () ->
+      ignore (Heap_int.top_key h));
+  Alcotest.check_raises "remove_top raises"
+    (Invalid_argument "Heap_int.remove_top: empty heap") (fun () ->
+      Heap_int.remove_top h)
+
+let prop_heap_int_sorts =
+  QCheck.Test.make ~name:"int heap drains in sorted order" ~count:200
+    QCheck.(list (int_range (-1000) 1000))
+    (fun keys ->
+      let h = Heap_int.create () in
+      List.iter (fun k -> Heap_int.add h ~key:k 0) keys;
+      let rec drain acc =
+        match Heap_int.pop h with
+        | Some (k, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+let prop_heap_int_matches_float_heap_tie_order =
+  (* Migrating a caller from float keys to exact int keys must not perturb
+     its traversal: on duplicate keys both heaps pop values in the same
+     order (identical sift logic). *)
+  QCheck.Test.make ~name:"int heap tie order matches float heap" ~count:200
+    QCheck.(list (pair (int_range 0 20) small_nat))
+    (fun entries ->
+      let hf = Heap.create () and hi = Heap_int.create () in
+      List.iter
+        (fun (k, v) ->
+          Heap.add hf ~key:(float_of_int k) v;
+          Heap_int.add hi ~key:k v)
+        entries;
+      let rec drain acc =
+        match (Heap.pop hf, Heap_int.pop hi) with
+        | None, None -> acc
+        | Some (fk, fv), Some (ik, iv) ->
+          drain (acc && int_of_float fk = ik && fv = iv)
+        | _ -> false
+      in
+      drain true)
+
 let test_stats_summary () =
   let s = Stats.summarize [| 1.; 2.; 3.; 4. |] in
   Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
@@ -177,6 +247,10 @@ let suite =
     Alcotest.test_case "heap peek/length" `Quick test_heap_peek;
     Alcotest.test_case "heap clear" `Quick test_heap_clear;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "int heap pop order" `Quick test_heap_int_pop_order;
+    Alcotest.test_case "int heap top accessors" `Quick test_heap_int_top_accessors;
+    QCheck_alcotest.to_alcotest prop_heap_int_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_int_matches_float_heap_tie_order;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
