@@ -8,7 +8,11 @@
      TDFLOW_SOLVER_ONLY  run only the MCMF solver microbenchmark and exit
      TDFLOW_SOLVER_LARGE  include the large (n=5002) solver case
      TDFLOW_GOLDEN  path to pinned (flow, cost) values for the solver
-                    small case; exit non-zero on mismatch (CI smoke) *)
+                    small case; exit non-zero on mismatch (CI smoke)
+     TDFLOW_PARALLEL_ONLY  run only the parallel-scaling benchmark and exit
+     TDFLOW_SKIP_PARALLEL  set to skip the parallel-scaling benchmark
+     TDFLOW_PAR_JOBS  space-separated domain counts to sweep (default "1 2 4 8")
+     TDFLOW_PAR_SCALE  case scale for the parallel sweep (default 0.05) *)
 
 open Bechamel
 
@@ -238,6 +242,102 @@ let run_solver_bench () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling: the experiments grid across domain counts         *)
+(* ------------------------------------------------------------------ *)
+
+(* One suite reproduction per domain count, timed end-to-end.  The grid
+   output is required to be bit-identical at every count (the pool's
+   determinism contract), so besides the timings this doubles as a
+   cross-check: the rendered comparison table — with the nondeterministic
+   runtime column zeroed — must match the jobs=1 reference exactly. *)
+let run_parallel_bench () =
+  let jobs_list =
+    match Sys.getenv_opt "TDFLOW_PAR_JOBS" with
+    | Some s ->
+      String.split_on_char ' ' s
+      |> List.filter_map int_of_string_opt
+      |> List.filter (fun j -> j >= 1)
+    | None -> [ 1; 2; 4; 8 ]
+  in
+  let jobs_list = if jobs_list = [] then [ 1 ] else jobs_list in
+  let pscale =
+    match Sys.getenv_opt "TDFLOW_PAR_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 0.05)
+    | None -> 0.05
+  in
+  Printf.printf "== parallel scaling (experiments grid, scale %.3g) ==\n"
+    pscale;
+  Printf.printf "  host: recommended_domain_count=%d\n"
+    (Domain.recommended_domain_count ());
+  let strip results =
+    (* runtime_s is wall-clock noise; everything else must be invariant *)
+    let rows =
+      List.map (fun (r : Tdf_experiments.Runner.case_result) ->
+          { r with
+            Tdf_experiments.Runner.rows =
+              List.map
+                (fun row -> { row with Tdf_experiments.Runner.runtime_s = 0. })
+                r.Tdf_experiments.Runner.rows })
+        results
+    in
+    Tdf_experiments.Tables.comparison ~title:"parallel-check" rows
+  in
+  let run_at jobs =
+    Tdf_par.set_jobs jobs;
+    let results, dt =
+      timed (fun () ->
+          Tdf_experiments.Runner.run_suite ~scale:pscale
+            Tdf_benchgen.Spec.Iccad2023)
+    in
+    (jobs, dt, strip results)
+  in
+  let runs = List.map run_at jobs_list in
+  Tdf_par.set_jobs 1;
+  let _, base_dt, base_table =
+    match runs with r :: _ -> r | [] -> assert false
+  in
+  let deterministic =
+    List.for_all (fun (_, _, table) -> table = base_table) runs
+  in
+  List.iter
+    (fun (jobs, dt, _) ->
+      Printf.printf "  jobs=%d  %.3fs  speedup %.2fx\n%!" jobs dt
+        (base_dt /. dt))
+    runs;
+  Printf.printf "  deterministic across job counts: %b\n" deterministic;
+  let json =
+    Json.Obj
+      [
+        ("generated_by", Json.String "bench/main.ml");
+        ("scale", Json.Float pscale);
+        ("recommended_domain_count", Json.Int (Domain.recommended_domain_count ()));
+        ("deterministic", Json.Bool deterministic);
+        ( "runs",
+          Json.List
+            (List.map
+               (fun (jobs, dt, _) ->
+                 Json.Obj
+                   [
+                     ("jobs", Json.Int jobs);
+                     ("wall_s", Json.Float dt);
+                     ("speedup", Json.Float (base_dt /. dt));
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "Parallel scaling written to BENCH_parallel.json\n";
+  if not deterministic then begin
+    Printf.eprintf
+      "PARALLEL MISMATCH: grid output differs across domain counts\n";
+    exit 1
+  end;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table / figure         *)
 (* ------------------------------------------------------------------ *)
 
@@ -315,8 +415,13 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  if Sys.getenv_opt "TDFLOW_PARALLEL_ONLY" <> None then begin
+    run_parallel_bench ();
+    exit 0
+  end;
   run_solver_bench ();
   if Sys.getenv_opt "TDFLOW_SOLVER_ONLY" <> None then exit 0;
+  if Sys.getenv_opt "TDFLOW_SKIP_PARALLEL" = None then run_parallel_bench ();
   Printf.printf "== 3D-Flow reproduction run (scale %.3g) ==\n\n" scale;
   if Sys.getenv_opt "TDFLOW_SKIP_MICRO" = None then run_micro ();
   (* Aggregating telemetry sink over the reproduction run proper (the

@@ -13,6 +13,23 @@ let design_arg =
   let doc = "Design file (tdflow text format, see lib/io/text.ml)." in
   Arg.(required & opt (some file) None & info [ "d"; "design" ] ~docv:"FILE" ~doc)
 
+(* ---- parallelism --------------------------------------------------- *)
+
+(* The flag only *requests* a pool size; Tdf_par clamps it and falls back
+   to TDFLOW_JOBS, then 1, when the flag is absent.  Results are
+   bit-identical at every setting (see lib/par/pool.mli), so this is a
+   pure wall-clock knob. *)
+let jobs_term =
+  let doc =
+    "Number of worker domains for the parallel sections (experiments \
+     grid, per-segment row placement, metrics reduction).  Defaults to \
+     $(b,TDFLOW_JOBS) or 1.  Results are identical at every setting."
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  Term.(const (Option.iter Tdf_par.set_jobs) $ jobs)
+
 (* ---- telemetry ----------------------------------------------------- *)
 
 type telemetry_opts = {
@@ -305,7 +322,7 @@ let run_cmd =
                 Tetris degradation) for method `ours'; a failed run \
                 reports its error instead.")
   in
-  let run design_path meth output alpha refine strict repair budget_ms
+  let run () design_path meth output alpha refine strict repair budget_ms
       no_fallback tele =
     with_telemetry tele @@ fun () ->
     let design = load_design design_path in
@@ -394,8 +411,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Legalize a design with one method.")
     Term.(
-      const run $ design_arg $ meth $ output $ alpha $ refine $ strict
-      $ repair $ budget_ms $ no_fallback $ telemetry_term)
+      const run $ jobs_term $ design_arg $ meth $ output $ alpha $ refine
+      $ strict $ repair $ budget_ms $ no_fallback $ telemetry_term)
 
 (* ---- check -------------------------------------------------------- *)
 
@@ -425,7 +442,7 @@ let check_cmd =
 (* ---- compare ------------------------------------------------------ *)
 
 let compare_cmd =
-  let run design_path tele =
+  let run () design_path tele =
     with_telemetry tele @@ fun () ->
     let design = load_design design_path in
     let r =
@@ -436,7 +453,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every legalizer on a design and tabulate.")
-    Term.(const run $ design_arg $ telemetry_term)
+    Term.(const run $ jobs_term $ design_arg $ telemetry_term)
 
 (* ---- tables ------------------------------------------------------- *)
 
@@ -446,7 +463,7 @@ let tables_cmd =
       value & opt string "all"
       & info [ "t"; "table" ] ~docv:"N" ~doc:"Which item: 2, 3, 4, 5, 7, scaling or all.")
   in
-  let run which scale tele =
+  let run () which scale tele =
     with_telemetry tele @@ fun () ->
     let t2 () = print_string (Tdf_experiments.Tables.table2 ~scale ()) in
     let suite s = Tdf_experiments.Runner.run_suite ~scale s in
@@ -501,7 +518,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables and Fig. 7.")
-    Term.(const run $ which $ scale_arg $ telemetry_term)
+    Term.(const run $ jobs_term $ which $ scale_arg $ telemetry_term)
 
 (* ---- viz ---------------------------------------------------------- *)
 

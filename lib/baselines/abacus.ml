@@ -80,9 +80,11 @@ let legalize design =
         states.(si).used <- states.(si).used + w
       | None -> ())
     order;
-  (* Final PlaceRow per segment writes the positions. *)
-  Array.iteri
-    (fun si st ->
+  (* Final PlaceRow per segment writes the positions.  Segments own
+     disjoint cell sets by construction, so they fan out over the domain
+     pool; each segment's placement depends only on its own state. *)
+  Tdf_par.parallel_for ~n:(Array.length states) (fun si ->
+      let st = states.(si) in
       if st.cells <> [] then begin
         let s = space.Rowspace.segs.(si) in
         let d = Design.die design s.Rowspace.die in
@@ -99,6 +101,5 @@ let legalize design =
             p.Placement.y.(pl.Place_row.pl_cell) <- s.Rowspace.y;
             p.Placement.die.(pl.Place_row.pl_cell) <- s.Rowspace.die)
           placed
-      end)
-    states;
+      end);
   p

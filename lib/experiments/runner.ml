@@ -81,21 +81,46 @@ let measure m design =
     via_fallback;
   }
 
+(* The methods of a case are independent measurements on a read-only
+   design, so they fan out over the domain pool; rows come back in
+   [methods] order regardless of scheduling. *)
 let run_case ?(methods = all_methods) ~case design =
-  {
-    case;
-    n_cells = Design.n_cells design;
-    rows = List.map (fun m -> measure m design) methods;
-  }
+  let rows =
+    Tdf_par.map_array (fun m -> measure m design) (Array.of_list methods)
+  in
+  { case; n_cells = Design.n_cells design; rows = Array.to_list rows }
 
+(* The whole case × method grid is embarrassingly parallel: generation is
+   seeded per case ([Prng.of_string "suite/case"]), so cases generate
+   independently, and each (case, method) measurement reads one generated
+   design.  Both stages fan out over the pool; results are reassembled in
+   spec × method order, so the suite output is identical at every --jobs
+   setting. *)
 let run_suite ?(methods = all_methods) ?(scale = 0.05) suite =
   let specs =
     match suite with
     | Tdf_benchgen.Spec.Iccad2022 -> Tdf_benchgen.Spec.iccad2022
     | Tdf_benchgen.Spec.Iccad2023 -> Tdf_benchgen.Spec.iccad2023
   in
-  List.map
-    (fun spec ->
-      let design = Tdf_benchgen.Gen.generate ~scale spec in
-      run_case ~methods ~case:spec.Tdf_benchgen.Spec.case design)
+  let specs_a = Array.of_list specs in
+  let designs =
+    Tdf_par.map_array (fun spec -> Tdf_benchgen.Gen.generate ~scale spec) specs_a
+  in
+  let methods_a = Array.of_list methods in
+  let nm = Array.length methods_a in
+  let grid =
+    Array.init
+      (Array.length specs_a * nm)
+      (fun i -> (i / nm, methods_a.(i mod nm)))
+  in
+  let measured =
+    Tdf_par.map_array (fun (ci, m) -> measure m designs.(ci)) grid
+  in
+  List.mapi
+    (fun ci (spec : Tdf_benchgen.Spec.t) ->
+      {
+        case = spec.Tdf_benchgen.Spec.case;
+        n_cells = Design.n_cells designs.(ci);
+        rows = List.init nm (fun mi -> measured.((ci * nm) + mi));
+      })
     specs

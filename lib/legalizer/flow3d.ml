@@ -127,23 +127,43 @@ let flow_pass cfg ~budget grid =
   if not !complete then Tdf_telemetry.incr "flow3d.budget_stops";
   (!augmentations, !expansions, !failed, !reliefs, !complete)
 
-(* §III-D: Abacus PlaceRow on every segment; writes final positions. *)
+(* Reusable input-staging buffer for [finalize]: one per domain, grown
+   monotonically, so a domain placing many segments stops re-allocating
+   the (cell, x', width) array per segment. *)
+type stage = { mutable stage_buf : (int * int * int) array }
+
+let stage_inputs design (s : Grid.segment) cells st =
+  let n = List.length cells in
+  if Array.length st.stage_buf < n then
+    st.stage_buf <- Array.make (max n (2 * Array.length st.stage_buf)) (0, 0, 0);
+  let i = ref 0 in
+  List.iter
+    (fun c ->
+      let cell = Design.cell design c in
+      st.stage_buf.(!i) <- (c, cell.Cell.gp_x, Cell.width_on cell s.Grid.s_die);
+      incr i)
+    cells;
+  Array.sub st.stage_buf 0 n
+
+(* §III-D: Abacus PlaceRow on every segment; writes final positions.
+   Segments are independent subproblems — each touches only the placement
+   slots of its own cells — so they fan out over the domain pool; every
+   segment's result depends only on its own cells, making the parallel
+   placement bit-identical to the sequential one. *)
 let finalize grid (p : Placement.t) =
   Tdf_telemetry.span "flow3d.place_row" @@ fun () ->
   let design = grid.Grid.design in
-  Array.iter
-    (fun (s : Grid.segment) ->
+  let segments = grid.Grid.segments in
+  Tdf_par.run_local
+    ~local:(fun () -> { stage_buf = [||] })
+    ~n:(Array.length segments)
+    (fun st si ->
+      let s = segments.(si) in
       match Grid.cells_of_segment grid s.Grid.sid with
       | [] -> ()
       | cells ->
         let die = Design.die design s.Grid.s_die in
-        let inputs =
-          cells
-          |> List.map (fun c ->
-                 let cell = Design.cell design c in
-                 (c, cell.Cell.gp_x, Cell.width_on cell s.Grid.s_die))
-          |> Array.of_list
-        in
+        let inputs = stage_inputs design s cells st in
         let weight c = (Design.cell design c).Cell.weight in
         let placed =
           Place_row.place_segment ~weight ~site:die.Die.site_width
@@ -157,7 +177,6 @@ let finalize grid (p : Placement.t) =
             p.Placement.y.(pl.Place_row.pl_cell) <- y;
             p.Placement.die.(pl.Place_row.pl_cell) <- s.Grid.s_die)
           placed)
-    grid.Grid.segments
 
 (* Normalized displacement metrics (the paper's Tables are row-height
    normalized, so post-opt acceptance must be too: a raw improvement on a

@@ -17,8 +17,24 @@ let net_hpwl centers (net : Net.t) =
     net.Net.pins;
   !max_x -. !min_x +. (!max_y -. !min_y)
 
+(* Per-net HPWLs are reduced over fixed-size chunks (partial sums merged
+   left-to-right in chunk order).  The partition depends only on the net
+   count, never on the pool size, so the float total is bit-identical for
+   every --jobs setting; a design smaller than one chunk sums in exactly
+   the seed's sequential order. *)
+let chunk = 4096
+
 let total design centers =
-  Array.fold_left (fun acc n -> acc +. net_hpwl centers n) 0. design.Design.nets
+  let nets = design.Design.nets in
+  let n = Array.length nets in
+  Tdf_par.reduce_chunked ~chunk ~n
+    ~map:(fun lo hi ->
+      let acc = ref 0. in
+      for i = lo to hi - 1 do
+        acc := !acc +. net_hpwl centers nets.(i)
+      done;
+      !acc)
+    ~merge:( +. ) ~init:0.
 
 let of_placement design p =
   let centers c =

@@ -10,53 +10,86 @@ type sink = event -> unit
 let null : sink = fun _ -> ()
 
 (* Registry.  [active] mirrors "at least one sink installed" so every
-   instrumentation point is a single load + branch when telemetry is off —
-   the disabled path allocates nothing and calls nothing. *)
+   instrumentation point is a single atomic load + branch when telemetry is
+   off — the disabled path allocates nothing and calls nothing.  [active]
+   is an Atomic because probes fire from worker domains; sink dispatch is
+   serialized by [lock] so the sinks themselves (hashtables, buffers) stay
+   plain single-threaded code. *)
 let sinks : sink array ref = ref [||]
 
-let active = ref false
+let active = Atomic.make false
 
-let cur_depth = ref 0
+let lock = Mutex.create ()
 
-let enabled () = !active
+(* Span nesting depth is per-domain: concurrent spans on different domains
+   each get their own well-formed depth chain. *)
+let depth_key = Domain.DLS.new_key (fun () -> 0)
+
+(* Per-domain capture buffer.  When installed (see [capture]) events are
+   appended locally instead of dispatched, so a parallel task records its
+   stream privately; the pool replays the buffers on the submitting domain
+   in submission-index order, making the observable event sequence — and
+   every JSONL/trace line — independent of domain scheduling. *)
+let buffer_key : event list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let enabled () = Atomic.get active
 
 let install s =
+  Mutex.lock lock;
   sinks := Array.append !sinks [| s |];
-  active := true
+  Atomic.set active true;
+  Mutex.unlock lock
 
 let remove s =
+  Mutex.lock lock;
   sinks := Array.of_list (List.filter (fun s' -> s' != s) (Array.to_list !sinks));
   if Array.length !sinks = 0 then begin
-    active := false;
-    cur_depth := 0
-  end
+    Atomic.set active false;
+    Domain.DLS.set depth_key 0
+  end;
+  Mutex.unlock lock
 
 let reset () =
+  Mutex.lock lock;
   sinks := [||];
-  active := false;
-  cur_depth := 0
+  Atomic.set active false;
+  Domain.DLS.set depth_key 0;
+  Mutex.unlock lock
+
+let dispatch ev =
+  Mutex.lock lock;
+  (match
+     let ss = !sinks in
+     for i = 0 to Array.length ss - 1 do
+       ss.(i) ev
+     done
+   with
+  | () -> Mutex.unlock lock
+  | exception e ->
+    Mutex.unlock lock;
+    raise e)
 
 let emit ev =
-  let ss = !sinks in
-  for i = 0 to Array.length ss - 1 do
-    ss.(i) ev
-  done
+  match Domain.DLS.get buffer_key with
+  | Some buf -> buf := ev :: !buf
+  | None -> dispatch ev
 
-let count name value = if !active then emit (Count { name; value })
+let count name value = if Atomic.get active then emit (Count { name; value })
 
-let incr name = if !active then emit (Count { name; value = 1 })
+let incr name = if Atomic.get active then emit (Count { name; value = 1 })
 
-let observe name value = if !active then emit (Observe { name; value })
+let observe name value = if Atomic.get active then emit (Observe { name; value })
 
 let span name f =
-  if not !active then f ()
+  if not (Atomic.get active) then f ()
   else begin
-    let d = !cur_depth in
-    cur_depth := d + 1;
+    let d = Domain.DLS.get depth_key in
+    Domain.DLS.set depth_key (d + 1);
     let t0 = Timer.now_ns () in
     let finish () =
       let dur = Timer.elapsed_ns t0 in
-      cur_depth := d;
+      Domain.DLS.set depth_key d;
       emit (Span { name; depth = d; start_ns = t0; dur_ns = dur })
     in
     match f () with
@@ -67,6 +100,29 @@ let span name f =
       finish ();
       raise e
   end
+
+let capture f =
+  if not (Atomic.get active) then (f (), [])
+  else begin
+    let saved_buf = Domain.DLS.get buffer_key in
+    let saved_depth = Domain.DLS.get depth_key in
+    let buf = ref [] in
+    Domain.DLS.set buffer_key (Some buf);
+    Domain.DLS.set depth_key 0;
+    let restore () =
+      Domain.DLS.set buffer_key saved_buf;
+      Domain.DLS.set depth_key saved_depth
+    in
+    match f () with
+    | r ->
+      restore ();
+      (r, List.rev !buf)
+    | exception e ->
+      restore ();
+      raise e
+  end
+
+let replay evs = if Atomic.get active then List.iter emit evs
 
 let with_sink s f =
   install s;

@@ -5,7 +5,15 @@
     branch — no allocation, no clock read — so instrumented hot paths cost
     nothing in production.  Sinks receive raw {!event}s; aggregation,
     serialization and trace export live in {!Aggregate}, {!Jsonl} and
-    {!Trace}. *)
+    {!Trace}.
+
+    The core is domain-safe: probes may fire concurrently from any domain.
+    Direct emissions are serialized before reaching the sinks, so a sink is
+    only ever called by one domain at a time and plain (hashtable/buffer)
+    sinks need no locking of their own.  Parallel code that must stay
+    bit-reproducible should instead wrap each task in {!capture} and
+    {!replay} the buffers in a deterministic order — the scheme
+    [Tdf_par.Pool] applies automatically. *)
 
 type event =
   | Span of { name : string; depth : int; start_ns : int64; dur_ns : int64 }
@@ -49,3 +57,16 @@ val observe : string -> float -> unit
 val with_sink : sink -> (unit -> 'a) -> 'a
 (** Install the sink for the duration of the callback (removed even on
     exceptions). *)
+
+val capture : (unit -> 'a) -> 'a * event list
+(** [capture f] runs [f] with a fresh per-domain buffer installed: every
+    event [f] emits (from this domain) is recorded in order instead of
+    reaching the sinks.  Returns [f]'s result and the buffered events.
+    Span depth restarts at 0 inside the capture.  Nests: an inner capture
+    shadows the outer buffer for its extent.  When telemetry is disabled
+    the cost is one branch and the event list is empty. *)
+
+val replay : event list -> unit
+(** Re-emit previously captured events on the calling domain (into the
+    enclosing capture buffer if one is installed, else to the sinks).
+    No-op when telemetry is disabled. *)

@@ -9,7 +9,13 @@
 
     Exhaustion latches: once {!exhausted} has returned [true] it keeps
     returning [true], so a solver polling the budget at several nesting
-    depths winds down consistently. *)
+    depths winds down consistently.
+
+    Budgets are domain-safe: one budget may be shared by the workers of a
+    parallel phase.  {!tick} and the exhaustion latch are atomic, so any
+    worker exhausting the budget (or {!exhaust} called from the
+    coordinator) cancels the remaining workers cooperatively at their next
+    poll. *)
 
 type t
 

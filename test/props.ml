@@ -1,0 +1,175 @@
+(* In-repo property-based testing harness.
+
+   A deliberately small QCheck-alike built on [Tdf_util.Prng] so property
+   runs share the project's reproducibility story: every case derives from
+   an integer seed, the default base seed is a stable hash of the property
+   name, and a failure report prints the exact seed that regenerates the
+   (shrunk) counterexample.  Replay a failing case with
+
+     TDFLOW_PROP_SEED=<seed printed in the failure> dune runtest
+
+   which makes case 0 of every property use that seed — including the one
+   that failed.
+
+   Differences from QCheck, on purpose:
+   - generators draw from [Tdf_util.Prng.t] (SplitMix64), not [Random];
+   - each case is seeded independently ([base + index]), so a failure is
+     reproducible without replaying the preceding cases;
+   - shrinking is greedy and budgeted: repeatedly take the first shrink
+     candidate that still fails, give up after [shrink_budget] steps. *)
+
+module Prng = Tdf_util.Prng
+
+type 'a arb = {
+  gen : Prng.t -> 'a;
+  shrink : 'a -> 'a list;  (** candidate strictly-smaller values *)
+  print : 'a -> string;
+}
+
+let make ?(shrink = fun _ -> []) ?(print = fun _ -> "<abstr>") gen =
+  { gen; shrink; print }
+
+(* ---- generators --------------------------------------------------- *)
+
+let int_range lo hi =
+  if lo > hi then invalid_arg "Props.int_range: lo > hi";
+  let shrink x =
+    if x <= lo then []
+    else
+      [ lo; lo + ((x - lo) / 2); x - 1 ]
+      |> List.filter (fun c -> c >= lo && c < x)
+      |> List.sort_uniq compare
+  in
+  make ~shrink ~print:string_of_int (fun rng -> Prng.int_in rng lo hi)
+
+let bool =
+  make ~print:string_of_bool
+    ~shrink:(fun b -> if b then [ false ] else [])
+    (fun rng -> Prng.bool rng)
+
+let float_range lo hi =
+  if lo > hi then invalid_arg "Props.float_range: lo > hi";
+  make
+    ~print:(Printf.sprintf "%.17g")
+    (fun rng -> lo +. Prng.float rng (hi -. lo))
+
+let pair a b =
+  make
+    ~shrink:(fun (x, y) ->
+      List.map (fun x' -> (x', y)) (a.shrink x)
+      @ List.map (fun y' -> (x, y')) (b.shrink y))
+    ~print:(fun (x, y) -> Printf.sprintf "(%s, %s)" (a.print x) (b.print y))
+    (fun rng ->
+      let x = a.gen rng in
+      let y = b.gen rng in
+      (x, y))
+
+let triple a b c =
+  make
+    ~shrink:(fun (x, y, z) ->
+      List.map (fun x' -> (x', y, z)) (a.shrink x)
+      @ List.map (fun y' -> (x, y', z)) (b.shrink y)
+      @ List.map (fun z' -> (x, y, z')) (c.shrink z))
+    ~print:(fun (x, y, z) ->
+      Printf.sprintf "(%s, %s, %s)" (a.print x) (b.print y) (c.print z))
+    (fun rng ->
+      let x = a.gen rng in
+      let y = b.gen rng in
+      let z = c.gen rng in
+      (x, y, z))
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let remove_at i l = List.filteri (fun j _ -> j <> i) l
+
+let set_at i x' l = List.mapi (fun j x -> if j = i then x' else x) l
+
+(* List shrinking tries, in order: first half, dropping single elements
+   (first 16 positions), then shrinking elements in place (up to 4
+   candidates per position) — bounded so one step stays cheap even for
+   long lists of rich elements. *)
+let list ?(min_len = 0) ?(max_len = 10) elt =
+  if min_len > max_len then invalid_arg "Props.list: min_len > max_len";
+  let shrink l =
+    let n = List.length l in
+    let structural =
+      if n <= min_len then []
+      else
+        (if n / 2 >= min_len && n >= 2 then [ take (n / 2) l ] else [])
+        @ List.init (min n 16) (fun i -> remove_at i l)
+    in
+    let elementwise =
+      List.concat
+        (List.mapi (fun i x -> List.map (fun x' -> set_at i x' l) (take 4 (elt.shrink x))) l)
+    in
+    structural @ elementwise
+  in
+  make ~shrink
+    ~print:(fun l -> "[" ^ String.concat "; " (List.map elt.print l) ^ "]")
+    (fun rng ->
+      let n = Prng.int_in rng min_len max_len in
+      List.init n (fun _ -> elt.gen rng))
+
+let array ?min_len ?max_len elt =
+  let l = list ?min_len ?max_len elt in
+  make
+    ~shrink:(fun a -> List.map Array.of_list (l.shrink (Array.to_list a)))
+    ~print:(fun a -> l.print (Array.to_list a))
+    (fun rng -> Array.of_list (l.gen rng))
+
+(* [map] cannot pull shrink candidates back through [f]; pass [~shrink]
+   (in the target domain) when shrinking matters for the property. *)
+let map ?shrink ?print f a =
+  make ?shrink
+    ~print:(match print with Some p -> p | None -> fun _ -> "<map>")
+    (fun rng -> f (a.gen rng))
+
+(* ---- runner ------------------------------------------------------- *)
+
+let shrink_budget = 1000
+
+let base_seed name =
+  match Sys.getenv_opt "TDFLOW_PROP_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> Hashtbl.hash name)
+  | None -> Hashtbl.hash name
+
+let check ?(count = 100) ?seed ~name arb prop =
+  let base = match seed with Some s -> s | None -> base_seed name in
+  for i = 0 to count - 1 do
+    let case_seed = base + i in
+    let rng = Prng.create case_seed in
+    let x = arb.gen rng in
+    let fails v = match prop v with b -> not b | exception _ -> true in
+    if fails x then begin
+      let steps = ref 0 in
+      let cur = ref x in
+      let shrinking = ref true in
+      while !shrinking && !steps < shrink_budget do
+        match List.find_opt fails (arb.shrink !cur) with
+        | Some x' ->
+          cur := x';
+          incr steps
+        | None -> shrinking := false
+      done;
+      let how =
+        match prop !cur with
+        | false -> "returned false"
+        | true -> "flaky: passed on re-run"
+        | exception e -> "raised " ^ Printexc.to_string e
+      in
+      Alcotest.fail
+        (Printf.sprintf
+           "property %S failed at case %d/%d (%s)\n\
+            counterexample (%d shrink steps): %s\n\
+            reproduce: TDFLOW_PROP_SEED=%d dune runtest"
+           name i count how !steps (arb.print !cur) case_seed)
+    end
+  done
+
+let test ?count ?seed name arb prop =
+  Alcotest.test_case name `Quick (fun () -> check ?count ?seed ~name arb prop)

@@ -180,36 +180,69 @@ let check_against_ref ~what edges n ~source ~sink =
   Alcotest.(check int) (what ^ ": flow matches seed") rflow flow;
   Alcotest.(check int) (what ^ ": cost matches seed") rcost cost
 
-let test_differential_random () =
-  (* >= 200 seeded random graphs.  Half allow cycles (non-negative costs,
-     self-loops and parallel edges included); half are DAGs with negative
-     costs (src < dst, so no directed cycle and Bellman–Ford potentials
-     are exercised without negative cycles). *)
-  let rng = Tdf_util.Prng.create 20250806 in
-  for case = 0 to 219 do
-    let n = 2 + Tdf_util.Prng.int rng 18 in
-    let m = 1 + Tdf_util.Prng.int rng 60 in
-    let negative = case mod 2 = 1 in
-    let edges = ref [] in
-    for _ = 1 to m do
-      let s = Tdf_util.Prng.int rng n and d = Tdf_util.Prng.int rng n in
-      let cap = Tdf_util.Prng.int rng 9 in
-      if negative then begin
-        let s, d = (min s d, max s d) in
-        if s <> d then begin
-          let cost = Tdf_util.Prng.int rng 21 - 10 in
+(* >= 200 seeded random graphs on the in-repo property harness.  Half
+   allow cycles (non-negative costs, self-loops and parallel edges
+   included); half are DAGs with negative costs (src < dst, so no directed
+   cycle and Bellman–Ford potentials are exercised without negative
+   cycles).  A discrepancy shrinks to a near-minimal edge list before the
+   failure (with its replay seed) is reported. *)
+type rand_graph = { rg_n : int; rg_edges : (int * int * int * int) list }
+
+let rand_graph_arb =
+  let print g =
+    Printf.sprintf "{n=%d; edges=[%s]}" g.rg_n
+      (String.concat "; "
+         (List.map
+            (fun (s, d, cap, c) ->
+              Printf.sprintf "(%d->%d cap %d cost %d)" s d cap c)
+            g.rg_edges))
+  in
+  let shrink g =
+    let ne = List.length g.rg_edges in
+    if ne = 0 then []
+    else
+      let take k l = List.filteri (fun i _ -> i < k) l in
+      let remove_at i l = List.filteri (fun j _ -> j <> i) l in
+      (if ne >= 2 then [ { g with rg_edges = take (ne / 2) g.rg_edges } ]
+       else [])
+      @ List.init (min ne 16) (fun i ->
+            { g with rg_edges = remove_at i g.rg_edges })
+  in
+  Props.make ~shrink ~print (fun rng ->
+      let n = 2 + Tdf_util.Prng.int rng 18 in
+      let m = 1 + Tdf_util.Prng.int rng 60 in
+      let negative = Tdf_util.Prng.bool rng in
+      let edges = ref [] in
+      for _ = 1 to m do
+        let s = Tdf_util.Prng.int rng n and d = Tdf_util.Prng.int rng n in
+        let cap = Tdf_util.Prng.int rng 9 in
+        if negative then begin
+          let s, d = (min s d, max s d) in
+          if s <> d then begin
+            let cost = Tdf_util.Prng.int rng 21 - 10 in
+            edges := (s, d, cap, cost) :: !edges
+          end
+        end
+        else begin
+          let cost = Tdf_util.Prng.int rng 11 in
           edges := (s, d, cap, cost) :: !edges
         end
-      end
-      else begin
-        let cost = Tdf_util.Prng.int rng 11 in
-        edges := (s, d, cap, cost) :: !edges
-      end
-    done;
-    check_against_ref
-      ~what:(Printf.sprintf "random case %d" case)
-      (List.rev !edges) n ~source:0 ~sink:(n - 1)
-  done
+      done;
+      { rg_n = n; rg_edges = List.rev !edges })
+
+let prop_differential_random =
+  Props.test "differential vs seed SSP (220 random)" ~count:220 rand_graph_arb
+    (fun g ->
+      let mg = M.create g.rg_n in
+      let r = Ref_ssp.create g.rg_n in
+      List.iter
+        (fun (src, dst, cap, cost) ->
+          ignore (M.add_edge mg ~src ~dst ~cap ~cost);
+          ignore (Ref_ssp.add_edge r ~src ~dst ~cap ~cost))
+        g.rg_edges;
+      let flow, cost = M.min_cost_flow mg ~source:0 ~sink:(g.rg_n - 1) () in
+      let rflow, rcost = Ref_ssp.min_cost_flow r ~source:0 ~sink:(g.rg_n - 1) () in
+      flow = rflow && cost = rcost)
 
 (* Transportation network shaped like the paper's legalization bin graphs
    (the generator the solver microbenchmark uses): source -> supply bins
@@ -316,6 +349,40 @@ let test_reset_caps_repeated_solve () =
   Alcotest.(check (pair int int)) "reset_caps solve identical" r1 r2;
   Alcotest.(check (list int)) "per-arc flows identical" flows1 flows2
 
+(* Property form of the reset_caps round-trip: on random transportation
+   shapes, resetting a solved CSR graph and re-solving reproduces the
+   exact (flow, cost) and every per-arc flow. *)
+let prop_reset_caps_roundtrip =
+  Props.test "reset_caps round-trip (random transportation)" ~count:40
+    Props.(
+      pair
+        (pair (int_range 2 24) (int_range 2 24))
+        (pair (int_range 1 5) (int_range 0 1_000_000)))
+    (fun ((supplies, demands), (window, seed)) ->
+      let edges, n, source, sink =
+        transportation_edges ~supplies ~demands ~window ~seed
+      in
+      let b = M.Builder.create n in
+      let handles =
+        List.map
+          (fun (src, dst, cap, cost) ->
+            M.Builder.add_edge b ~src ~dst ~cap ~cost)
+          edges
+      in
+      let g = M.Csr.of_builder b in
+      let ws = M.Workspace.create () in
+      let solve () =
+        match M.solve_csr g ~ws ~source ~sink () with
+        | Ok s -> (s.M.flow, s.M.cost)
+        | Error _ -> (-1, -1)
+      in
+      let r1 = solve () in
+      let flows1 = List.map (M.Csr.flow_on g) handles in
+      M.Csr.reset_caps g;
+      let r2 = solve () in
+      let flows2 = List.map (M.Csr.flow_on g) handles in
+      r1 = r2 && flows1 = flows2)
+
 let suite =
   [
     Alcotest.test_case "single edge" `Quick test_single_edge;
@@ -328,13 +395,13 @@ let suite =
     Alcotest.test_case "self-loop" `Quick test_self_loop;
     Alcotest.test_case "negative self-loop detected" `Quick
       test_negative_self_loop_is_cycle;
-    Alcotest.test_case "differential vs seed SSP (220 random)" `Quick
-      test_differential_random;
+    prop_differential_random;
     Alcotest.test_case "differential vs seed SSP (transportation)" `Quick
       test_differential_benchmark_graphs;
     Alcotest.test_case "workspace reuse determinism" `Quick
       test_workspace_reuse_determinism;
     Alcotest.test_case "reset_caps repeated solve" `Quick
       test_reset_caps_repeated_solve;
+    prop_reset_caps_roundtrip;
     QCheck_alcotest.to_alcotest prop_matches_brute_force;
   ]

@@ -235,6 +235,45 @@ let prop_random_ops_keep_invariants =
       done;
       match G.check_invariants g with Ok () -> true | Error _ -> false)
 
+(* reset_to must be indistinguishable from throwing the grid away: a grid
+   that already carries a different assignment, reset to a target array,
+   matches a freshly built grid given the same targets bin-for-bin (same
+   fragments, same [used]), and still passes the structural invariants. *)
+let prop_reset_to_roundtrip =
+  Props.test "reset_to equals fresh build+place" ~count:40
+    Props.(pair (int_range 0 1_000_000) (int_range 8 30))
+    (fun (seed, bin_width) ->
+      let d = Fixtures.random ~n:40 seed in
+      let n = Design.n_cells d in
+      let rng = Tdf_util.Prng.create (seed + 1) in
+      let targets =
+        Array.init n (fun _ ->
+            ( Tdf_util.Prng.int rng 120,
+              Tdf_util.Prng.int rng 50,
+              Tdf_util.Prng.int rng 2 ))
+      in
+      let fresh = G.build d ~bin_width in
+      let fresh_ok =
+        Array.for_all (fun x -> x)
+          (Array.mapi
+             (fun c (x, y, die) ->
+               G.place_cell fresh ~cell:c ~die ~x ~y = Ok ())
+             targets)
+      in
+      let g = G.build d ~bin_width in
+      G.assign_initial_exn g (Placement.initial d);
+      match G.reset_to g targets with
+      | Error _ -> not fresh_ok
+      | Ok () ->
+        fresh_ok
+        && G.check_invariants g = Ok ()
+        && Array.for_all2
+             (fun (a : G.bin) (b : G.bin) ->
+               a.G.used = b.G.used
+               && List.map (fun (f : G.frag) -> (f.G.cell, f.G.rho)) a.G.frags
+                  = List.map (fun (f : G.frag) -> (f.G.cell, f.G.rho)) b.G.frags)
+             fresh.G.bins g.G.bins)
+
 let suite =
   [
     Alcotest.test_case "structure without macros" `Quick test_structure_no_macros;
@@ -252,4 +291,5 @@ let suite =
     Alcotest.test_case "find_slot avoids macro" `Quick test_find_slot_fits;
     Alcotest.test_case "find_slot too wide" `Quick test_find_slot_too_wide;
     QCheck_alcotest.to_alcotest prop_random_ops_keep_invariants;
+    prop_reset_to_roundtrip;
   ]

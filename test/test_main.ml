@@ -2,6 +2,7 @@ let () =
   Alcotest.run "tdflow"
     [
       ("util", Test_util.suite);
+      ("par", Test_par.suite);
       ("telemetry", Test_telemetry.suite);
       ("geometry", Test_geometry.suite);
       ("netlist", Test_netlist.suite);
@@ -20,5 +21,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("adversarial", Test_adversarial.suite);
       ("robust", Test_robust.suite);
+      ("determinism", Test_determinism.suite);
       ("integration", Test_integration.suite);
     ]

@@ -280,6 +280,82 @@ let test_mcmf_instrumented () =
   Alcotest.(check bool) "pops counted" true
     (Aggregate.counter_total agg "mcmf.dijkstra_pops" > 0)
 
+(* ---- domain safety ------------------------------------------------- *)
+
+(* Raw concurrent emission (no pool, no capture): N domains hammering one
+   counter.  Dispatch serializes sink calls under the registry mutex, so
+   the aggregate must count every increment — a lost update here means a
+   data race in the core. *)
+let test_concurrent_counters_exact () =
+  let domains = 4 and per_domain = 10_000 in
+  let agg = Aggregate.create () in
+  T.with_sink (Aggregate.sink agg) (fun () ->
+      let spawned =
+        Array.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  T.incr "conc.hits"
+                done))
+      in
+      Array.iter Domain.join spawned);
+  Alcotest.(check int)
+    "no lost increments" (domains * per_domain)
+    (Aggregate.counter_total agg "conc.hits")
+
+let test_concurrent_jsonl_lines_atomic () =
+  (* Concurrent emitters into a JSONL sink: every line must be one intact
+     event (interleaved writes would corrupt the JSON), and per-domain
+     event counts must all arrive. *)
+  let domains = 4 and per_domain = 2_000 in
+  let j = Jsonl.create () in
+  T.with_sink (Jsonl.sink j) (fun () ->
+      let spawned =
+        Array.init domains (fun d ->
+            Domain.spawn (fun () ->
+                let name = Printf.sprintf "conc.d%d" d in
+                for i = 1 to per_domain do
+                  T.count name (i land 1)
+                done))
+      in
+      Array.iter Domain.join spawned);
+  match Jsonl.parse (Jsonl.contents j) with
+  | Error e -> Alcotest.failf "interleaved/corrupt JSONL: %s" e
+  | Ok evs ->
+    Alcotest.(check int) "all events present" (domains * per_domain)
+      (List.length evs);
+    for d = 0 to domains - 1 do
+      let name = Printf.sprintf "conc.d%d" d in
+      let n =
+        List.length
+          (List.filter
+             (function T.Count { name = n; _ } -> n = name | _ -> false)
+             evs)
+      in
+      Alcotest.(check int) (name ^ " count") per_domain n
+    done
+
+let test_concurrent_spans_per_domain_depth () =
+  (* Span depth is domain-local: concurrent spans from different domains
+     keep their own nesting (depths 0/1), never each other's. *)
+  let agg = Aggregate.create () in
+  T.with_sink (Aggregate.sink agg) (fun () ->
+      let spawned =
+        Array.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                let name = Printf.sprintf "conc.span%d" d in
+                for _ = 1 to 500 do
+                  T.span name (fun () -> T.span (name ^ ".in") (fun () -> ()))
+                done))
+      in
+      Array.iter Domain.join spawned);
+  for d = 0 to 3 do
+    let name = Printf.sprintf "conc.span%d" d in
+    Alcotest.(check int) (name ^ " outer") 500 (Aggregate.span_count agg name);
+    Alcotest.(check int)
+      (name ^ " inner") 500
+      (Aggregate.span_count agg (name ^ ".in"))
+  done
+
 let suite =
   [
     Alcotest.test_case "span nesting and ordering" `Quick
@@ -297,4 +373,10 @@ let suite =
     Alcotest.test_case "flow3d instrumented" `Quick
       (isolated test_flow3d_instrumented);
     Alcotest.test_case "mcmf instrumented" `Quick (isolated test_mcmf_instrumented);
+    Alcotest.test_case "concurrent counters exact" `Quick
+      (isolated test_concurrent_counters_exact);
+    Alcotest.test_case "concurrent jsonl lines atomic" `Quick
+      (isolated test_concurrent_jsonl_lines_atomic);
+    Alcotest.test_case "concurrent spans per-domain depth" `Quick
+      (isolated test_concurrent_spans_per_domain_depth);
   ]

@@ -15,26 +15,45 @@ let test_prng_of_string_stable () =
   Alcotest.(check bool) "different seed differs" true
     (Prng.bits64 (Prng.of_string "case2") <> Prng.bits64 c)
 
-let test_prng_int_bounds () =
-  let rng = Prng.create 7 in
-  for _ = 1 to 1000 do
-    let v = Prng.int rng 10 in
-    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
-  done
+(* The bound-respecting properties run on the in-repo harness: instead of
+   one hand-picked bound per test, the bound itself (and the stream seed)
+   is generated, and a violation shrinks to the smallest offending bound. *)
+let prop_prng_int_bounds =
+  Props.test "prng int stays in [0,n)"
+    Props.(pair (int_range 1 1000) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Prng.int rng n in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
 
-let test_prng_int_in_bounds () =
-  let rng = Prng.create 8 in
-  for _ = 1 to 1000 do
-    let v = Prng.int_in rng (-5) 5 in
-    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
-  done
+let prop_prng_int_in_bounds =
+  Props.test "prng int_in stays in [lo,hi]"
+    Props.(triple (int_range (-500) 500) (int_range 0 1000) (int_range 0 1_000_000))
+    (fun (lo, span, seed) ->
+      let hi = lo + span in
+      let rng = Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Prng.int_in rng lo hi in
+        if v < lo || v > hi then ok := false
+      done;
+      !ok)
 
-let test_prng_float_bounds () =
-  let rng = Prng.create 9 in
-  for _ = 1 to 1000 do
-    let v = Prng.float rng 2.5 in
-    Alcotest.(check bool) "in [0,2.5)" true (v >= 0. && v < 2.5)
-  done
+let prop_prng_float_bounds =
+  Props.test "prng float stays in [0,x)"
+    Props.(pair (float_range 0.001 1000.) (int_range 0 1_000_000))
+    (fun (x, seed) ->
+      let rng = Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Prng.float rng x in
+        if v < 0. || v >= x then ok := false
+      done;
+      !ok)
 
 let test_prng_gaussian_moments () =
   let rng = Prng.create 10 in
@@ -158,6 +177,73 @@ let prop_heap_int_sorts =
       in
       drain [] = List.sort compare keys)
 
+(* Model check: an arbitrary interleaving of add/pop/clear behaves like a
+   sorted multiset — every pop returns a minimal key with a value that was
+   inserted under it, and length tracks the model throughout. *)
+type heap_op = Add of int * int | Pop | Clear
+
+let heap_op_arb =
+  let print = function
+    | Add (k, v) -> Printf.sprintf "Add(%d,%d)" k v
+    | Pop -> "Pop"
+    | Clear -> "Clear"
+  in
+  let shrink = function
+    | Add (k, v) ->
+      [ Pop ]
+      @ (if k <> 0 then [ Add (k / 2, v) ] else [])
+      @ if v <> 0 then [ Add (k, v / 2) ] else []
+    | Pop -> []
+    | Clear -> [ Pop ]
+  in
+  Props.make ~shrink ~print (fun rng ->
+      match Tdf_util.Prng.int rng 10 with
+      | 0 -> Clear
+      | 1 | 2 | 3 -> Pop
+      | _ -> Add (Tdf_util.Prng.int_in rng (-50) 50, Tdf_util.Prng.int rng 1000))
+
+let prop_heap_int_model =
+  Props.test "int heap matches sorted-multiset model" ~count:200
+    (Props.list ~max_len:60 heap_op_arb)
+    (fun ops ->
+      let h = Heap_int.create () in
+      let model = ref [] in
+      (* unordered (key, value) multiset mirroring the heap *)
+      List.for_all
+        (fun op ->
+          match op with
+          | Add (k, v) ->
+            Heap_int.add h ~key:k v;
+            model := (k, v) :: !model;
+            Heap_int.length h = List.length !model
+          | Clear ->
+            Heap_int.clear h;
+            model := [];
+            Heap_int.is_empty h
+          | Pop -> (
+            match (Heap_int.pop h, !model) with
+            | None, [] -> true
+            | None, _ :: _ | Some _, [] -> false
+            | Some (k, v), m ->
+              let kmin =
+                List.fold_left (fun acc (k', _) -> min acc k') max_int m
+              in
+              if k <> kmin || not (List.mem (k, v) m) then false
+              else begin
+                let removed = ref false in
+                model :=
+                  List.filter
+                    (fun e ->
+                      if (not !removed) && e = (k, v) then begin
+                        removed := true;
+                        false
+                      end
+                      else true)
+                    m;
+                true
+              end))
+        ops)
+
 let prop_heap_int_matches_float_heap_tie_order =
   (* Migrating a caller from float keys to exact int keys must not perturb
      its traversal: on duplicate keys both heaps pop values in the same
@@ -236,9 +322,9 @@ let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng of_string stable" `Quick test_prng_of_string_stable;
-    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
-    Alcotest.test_case "prng int_in bounds" `Quick test_prng_int_in_bounds;
-    Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
+    prop_prng_int_bounds;
+    prop_prng_int_in_bounds;
+    prop_prng_float_bounds;
     Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
     Alcotest.test_case "prng shuffle permutation" `Quick test_prng_shuffle_permutation;
     Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
@@ -250,6 +336,7 @@ let suite =
     Alcotest.test_case "int heap pop order" `Quick test_heap_int_pop_order;
     Alcotest.test_case "int heap top accessors" `Quick test_heap_int_top_accessors;
     QCheck_alcotest.to_alcotest prop_heap_int_sorts;
+    prop_heap_int_model;
     QCheck_alcotest.to_alcotest prop_heap_int_matches_float_heap_tie_order;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
