@@ -4,6 +4,7 @@
 
    Environment knobs:
      TDFLOW_SCALE  case scale for the reproduction run (default 0.05)
+     TDFLOW_OUT_DIR  directory for generated artifacts (default "out")
      TDFLOW_SKIP_MICRO  set to skip the Bechamel micro-benchmarks
      TDFLOW_SOLVER_ONLY  run only the MCMF solver microbenchmark and exit
      TDFLOW_SOLVER_LARGE  include the large (n=5002) solver case
@@ -12,7 +13,10 @@
      TDFLOW_PARALLEL_ONLY  run only the parallel-scaling benchmark and exit
      TDFLOW_SKIP_PARALLEL  set to skip the parallel-scaling benchmark
      TDFLOW_PAR_JOBS  space-separated domain counts to sweep (default "1 2 4 8")
-     TDFLOW_PAR_SCALE  case scale for the parallel sweep (default 0.05) *)
+     TDFLOW_PAR_SCALE  case scale for the parallel sweep (default 0.05)
+     TDFLOW_ECO_ONLY  run only the incremental-ECO benchmark and exit
+     TDFLOW_SKIP_ECO  set to skip the incremental-ECO benchmark
+     TDFLOW_ECO_SCALE  case scale for the ECO benchmark (default 0.05) *)
 
 open Bechamel
 
@@ -20,6 +24,15 @@ let scale =
   match Sys.getenv_opt "TDFLOW_SCALE" with
   | Some s -> (try float_of_string s with _ -> 0.05)
   | None -> 0.05
+
+(* Generated artifacts (BENCH_*.json, fig7 CSV, fig8 SVGs) land under one
+   directory instead of littering the repo root; CI uploads it wholesale. *)
+let out_dir =
+  let dir = Option.value (Sys.getenv_opt "TDFLOW_OUT_DIR") ~default:"out" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
+let out_path name = Filename.concat out_dir name
 
 (* ------------------------------------------------------------------ *)
 (* MCMF solver microbenchmark: Builder/Csr/Workspace core              *)
@@ -231,11 +244,12 @@ let run_solver_bench () =
         ("cases", Json.List (List.map solver_case_json results));
       ]
   in
-  let oc = open_out "BENCH_solver.json" in
+  let path = out_path "BENCH_solver.json" in
+  let oc = open_out path in
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "Solver microbenchmark written to BENCH_solver.json\n";
+  Printf.printf "Solver microbenchmark written to %s\n" path;
   (match Sys.getenv_opt "TDFLOW_GOLDEN" with
   | Some path -> check_golden path results
   | None -> ());
@@ -325,16 +339,165 @@ let run_parallel_bench () =
                runs) );
       ]
   in
-  let oc = open_out "BENCH_parallel.json" in
+  let path = out_path "BENCH_parallel.json" in
+  let oc = open_out path in
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "Parallel scaling written to BENCH_parallel.json\n";
+  Printf.printf "Parallel scaling written to %s\n" path;
   if not deterministic then begin
     Printf.eprintf
       "PARALLEL MISMATCH: grid output differs across domain counts\n";
     exit 1
   end;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Incremental ECO: local re-legalization vs from-scratch latency      *)
+(* ------------------------------------------------------------------ *)
+
+module Eco = Tdf_incremental.Eco
+module Delta = Tdf_io.Delta
+
+(* The gate-sizing ECO shape of examples/eco_incremental.ml as a delta:
+   [k] distinct cells jump into a window around their legal position. *)
+let eco_delta ~rng ~design ~(prev : Tdf_netlist.Placement.t) ~k =
+  let n = Tdf_netlist.Design.n_cells design in
+  let outline = (Tdf_netlist.Design.die design 0).Tdf_netlist.Die.outline in
+  let window = 40 in
+  let jitter extent p =
+    max 0 (min (extent - 1) (p - window + Prng.int rng ((2 * window) + 1)))
+  in
+  let seen = Array.make n false in
+  let ops = ref [] in
+  let made = ref 0 in
+  while !made < k do
+    let c = Prng.int rng n in
+    if not seen.(c) then begin
+      seen.(c) <- true;
+      incr made;
+      ops :=
+        Delta.Move
+          {
+            cell = c;
+            x = jitter outline.Tdf_geometry.Rect.w prev.Tdf_netlist.Placement.x.(c);
+            y = jitter outline.Tdf_geometry.Rect.h prev.Tdf_netlist.Placement.y.(c);
+            die = prev.Tdf_netlist.Placement.die.(c);
+          }
+        :: !ops
+    end
+  done;
+  List.rev !ops
+
+let run_eco_bench () =
+  let escale =
+    match Sys.getenv_opt "TDFLOW_ECO_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 0.05)
+    | None -> 0.05
+  in
+  Printf.printf
+    "== incremental ECO re-legalization (iccad2023 case2, scale %.3g) ==\n"
+    escale;
+  let design =
+    Tdf_benchgen.Gen.generate_by_name ~scale:escale Tdf_benchgen.Spec.Iccad2023
+      "case2"
+  in
+  let n = Tdf_netlist.Design.n_cells design in
+  let prev, signoff_s =
+    timed (fun () ->
+        (Tdf_legalizer.Flow3d.legalize design).Tdf_legalizer.Flow3d.placement)
+  in
+  if not (Tdf_metrics.Legality.is_legal design prev) then begin
+    Printf.eprintf "ECO BENCH: signoff placement is not legal\n";
+    exit 1
+  end;
+  Printf.printf "  %d cells, signoff legalization %.3fs\n%!" n signoff_s;
+  let fracs = [ 0.002; 0.01; 0.05 ] in
+  let repeats = 3 in
+  let run_frac frac =
+    let k = max 1 (int_of_float (frac *. float_of_int n)) in
+    let rng = Prng.of_string (Printf.sprintf "eco-bench-%g" frac) in
+    let delta = eco_delta ~rng ~design ~prev ~k in
+    (* Incremental repair: same inputs are deterministic, so best-of-N
+       only filters scheduler noise. *)
+    let result = ref None in
+    let eco_s = ref infinity in
+    for _ = 1 to repeats do
+      let r, dt =
+        timed (fun () ->
+            match Eco.run design prev delta with
+            | Ok r -> r
+            | Error e -> failwith (Eco.error_to_string e))
+      in
+      if dt < !eco_s then eco_s := dt;
+      result := Some r
+    done;
+    let r = Option.get !result in
+    let eco_s = !eco_s in
+    (* From-scratch reference: full legalization of the same perturbed
+       design the incremental engine solved. *)
+    let scratch_s = ref infinity in
+    let scratch_legal = ref false in
+    for _ = 1 to 2 do
+      let sr, dt =
+        timed (fun () -> Tdf_legalizer.Flow3d.legalize r.Eco.design)
+      in
+      if dt < !scratch_s then scratch_s := dt;
+      scratch_legal :=
+        Tdf_metrics.Legality.is_legal r.Eco.design
+          sr.Tdf_legalizer.Flow3d.placement
+    done;
+    let scratch_s = !scratch_s in
+    let s = r.Eco.stats in
+    let legal = Tdf_metrics.Legality.is_legal r.Eco.design r.Eco.placement in
+    let speedup = scratch_s /. eco_s in
+    Printf.printf
+      "  delta %4d cells (%4.1f%%): eco %.4fs scratch %.4fs speedup %6.1fx \
+       dirty %d/%d bins widenings=%d fallbacks=%d %s legal=%b\n%!"
+      k
+      (100. *. float_of_int k /. float_of_int n)
+      eco_s scratch_s speedup s.Eco.dirty_bins s.Eco.total_bins s.Eco.widenings
+      s.Eco.fallbacks
+      (Eco.path_name s.Eco.path)
+      legal;
+    if not (legal && !scratch_legal) then begin
+      Printf.eprintf "ECO BENCH: illegal result at delta %d\n" k;
+      exit 1
+    end;
+    Json.Obj
+      [
+        ("delta_cells", Json.Int k);
+        ("delta_frac", Json.Float frac);
+        ("eco_s", Json.Float eco_s);
+        ("scratch_s", Json.Float scratch_s);
+        ("speedup", Json.Float speedup);
+        ("dirty_bins", Json.Int s.Eco.dirty_bins);
+        ("total_bins", Json.Int s.Eco.total_bins);
+        ("dirty_segments", Json.Int s.Eco.dirty_segments);
+        ("widenings", Json.Int s.Eco.widenings);
+        ("fallbacks", Json.Int s.Eco.fallbacks);
+        ("path", Json.String (Eco.path_name s.Eco.path));
+        ("legal", Json.Bool legal);
+      ]
+  in
+  let runs = List.map run_frac fracs in
+  let json =
+    Json.Obj
+      [
+        ("generated_by", Json.String "bench/main.ml");
+        ("case", Json.String "iccad2023:case2");
+        ("scale", Json.Float escale);
+        ("n_cells", Json.Int n);
+        ("signoff_s", Json.Float signoff_s);
+        ("runs", Json.List runs);
+      ]
+  in
+  let path = out_path "BENCH_eco.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "ECO benchmark written to %s\n" path;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -419,9 +582,14 @@ let () =
     run_parallel_bench ();
     exit 0
   end;
+  if Sys.getenv_opt "TDFLOW_ECO_ONLY" <> None then begin
+    run_eco_bench ();
+    exit 0
+  end;
   run_solver_bench ();
   if Sys.getenv_opt "TDFLOW_SOLVER_ONLY" <> None then exit 0;
   if Sys.getenv_opt "TDFLOW_SKIP_PARALLEL" = None then run_parallel_bench ();
+  if Sys.getenv_opt "TDFLOW_SKIP_ECO" = None then run_eco_bench ();
   Printf.printf "== 3D-Flow reproduction run (scale %.3g) ==\n\n" scale;
   if Sys.getenv_opt "TDFLOW_SKIP_MICRO" = None then run_micro ();
   (* Aggregating telemetry sink over the reproduction run proper (the
@@ -462,11 +630,14 @@ let () =
     (Tdf_experiments.Figures.fig7
        ~title:"FIG 7(b) — HPWL increase (%), ICCAD 2023 suite" r2023);
   let csv = Tdf_experiments.Figures.fig7_csv (r2022 @ r2023) in
-  let oc = open_out "fig7_hpwl.csv" in
+  let csv_path = out_path "fig7_hpwl.csv" in
+  let oc = open_out csv_path in
   output_string oc csv;
   close_out oc;
-  Printf.printf "\nFig. 7 data written to fig7_hpwl.csv\n";
-  let no_d2d_svg, ours_svg = Tdf_experiments.Figures.fig8 ~scale () in
+  Printf.printf "\nFig. 7 data written to %s\n" csv_path;
+  let no_d2d_svg, ours_svg =
+    Tdf_experiments.Figures.fig8 ~scale ~dir:out_dir ()
+  in
   Printf.printf "Fig. 8 visualizations written to %s and %s\n" no_d2d_svg ours_svg;
   if Sys.getenv_opt "TDFLOW_SKIP_ABLATIONS" = None then begin
     print_newline ();
@@ -512,9 +683,10 @@ let () =
         ("telemetry", Tdf_telemetry.Aggregate.to_json telemetry);
       ]
   in
-  let oc = open_out "BENCH_telemetry.json" in
+  let path = out_path "BENCH_telemetry.json" in
+  let oc = open_out path in
   output_string oc (Tdf_telemetry.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "Telemetry (per-phase wall times, counters) written to \
-                 BENCH_telemetry.json\n"
+  Printf.printf "Telemetry (per-phase wall times, counters) written to %s\n"
+    path

@@ -5,7 +5,8 @@
      legalize check    — audit a placement for legality
      legalize compare  — run all methods on a design and print a table
      legalize tables   — regenerate the paper's tables/figures
-     legalize viz      — render a die of a placement as SVG *)
+     legalize viz      — render a die of a placement as SVG
+     legalize eco      — incrementally re-legalize after an ECO delta *)
 
 open Cmdliner
 
@@ -549,6 +550,131 @@ let viz_cmd =
     (Cmd.info "viz" ~doc:"Render one die of a placement as SVG (Fig. 8 style).")
     Term.(const run $ design_arg $ placement $ die $ output)
 
+(* ---- eco ---------------------------------------------------------- *)
+
+let eco_cmd =
+  let placement =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "p"; "placement" ] ~docv:"FILE"
+          ~doc:"Previous legal placement for the design.")
+  in
+  let delta =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "delta" ] ~docv:"FILE"
+          ~doc:"ECO delta file (move/resize/add/remove/macro ops; see \
+                lib/io/delta.mli for the grammar).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the re-legalized placement here (cell ids are the \
+                perturbed design's; see $(b,--out-design)).")
+  in
+  let out_design =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-design" ] ~docv:"FILE"
+          ~doc:"Write the perturbed design here (needed to interpret the \
+                output placement after add/remove ops renumber cells).")
+  in
+  let radius =
+    Arg.(
+      value & opt int 4
+      & info [ "radius" ] ~docv:"R"
+          ~doc:"Initial BFS radius of the dirty region, in bins.")
+  in
+  let max_widenings =
+    Arg.(
+      value & opt int 3
+      & info [ "max-widenings" ] ~docv:"N"
+          ~doc:"Radius escalations before falling back to a full rerun.")
+  in
+  let no_fallback =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:"Fail instead of degrading to a full re-legalization when \
+                the local solves are exhausted.")
+  in
+  let budget_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock budget per local attempt (and for the fallback \
+                pipeline's attempts).")
+  in
+  let run () design_path placement_path delta_path output out_design radius
+      max_widenings no_fallback budget_ms tele =
+    with_telemetry tele @@ fun () ->
+    let design = load_design design_path in
+    let prev = load_placement design placement_path in
+    let delta =
+      match Tdf_io.Delta.load delta_path with
+      | Ok d -> d
+      | Error e ->
+        Printf.eprintf "legalize: %s\n" (parse_diagnostic delta_path e);
+        exit 2
+    in
+    let cfg =
+      {
+        Tdf_incremental.Eco.default_cfg with
+        Tdf_incremental.Eco.initial_radius = radius;
+        max_widenings;
+        fallback = not no_fallback;
+        budget_ms;
+      }
+    in
+    let result, dt =
+      Tdf_util.Timer.time (fun () ->
+          Tdf_incremental.Eco.run ~cfg design prev delta)
+    in
+    match result with
+    | Error e ->
+      Printf.eprintf "legalize: eco: %s\n"
+        (Tdf_incremental.Eco.error_to_string e);
+      exit 1
+    | Ok r ->
+      let s = r.Tdf_incremental.Eco.stats in
+      Printf.printf
+        "eco: %d ops, %s, dirty %d/%d bins (%d segments), %d widenings, %d \
+         fallbacks, %.3fs, legal %b\n"
+        (List.length delta)
+        (Tdf_incremental.Eco.path_name s.Tdf_incremental.Eco.path)
+        s.Tdf_incremental.Eco.dirty_bins s.Tdf_incremental.Eco.total_bins
+        s.Tdf_incremental.Eco.dirty_segments s.Tdf_incremental.Eco.widenings
+        s.Tdf_incremental.Eco.fallbacks dt
+        (Tdf_metrics.Legality.is_legal r.Tdf_incremental.Eco.design
+           r.Tdf_incremental.Eco.placement);
+      Option.iter
+        (fun path ->
+          Tdf_io.Text.save_design path r.Tdf_incremental.Eco.design;
+          Printf.printf "wrote %s\n" path)
+        out_design;
+      Option.iter
+        (fun path ->
+          Tdf_io.Text.save_placement path r.Tdf_incremental.Eco.design
+            r.Tdf_incremental.Eco.placement;
+          Printf.printf "wrote %s\n" path)
+        output
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:
+         "Incrementally re-legalize a previously legal placement after a \
+          small ECO delta, touching only a dirty region of the grid.")
+    Term.(
+      const run $ jobs_term $ design_arg $ placement $ delta $ output
+      $ out_design $ radius $ max_widenings $ no_fallback $ budget_ms
+      $ telemetry_term)
+
 (* ---- place -------------------------------------------------------- *)
 
 let place_cmd =
@@ -589,4 +715,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; run_cmd; check_cmd; compare_cmd; tables_cmd; viz_cmd; place_cmd ]))
+          [ gen_cmd; run_cmd; check_cmd; compare_cmd; tables_cmd; viz_cmd;
+            place_cmd; eco_cmd ]))

@@ -469,6 +469,36 @@ let move_whole t ~cell ~dst =
   add_frag t dst ~cell ~rho:1.0 ~w:(Cell.width_on c dst.die);
   t.cell_seg.(cell) <- dst.seg
 
+let cell_bins t cell = List.map fst t.cell_frags.(cell)
+
+(* Breadth-first ball around the seed bins over the full adjacency
+   (horizontal, vertical and D2D edges alike): the flow search moves cells
+   along exactly these edges, so a radius-k ball bounds where k relay hops
+   can reach. *)
+let dirty_region t ~seeds ~radius =
+  let n = Array.length t.bins in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  List.iter
+    (fun bid ->
+      if bid >= 0 && bid < n && dist.(bid) < 0 then begin
+        dist.(bid) <- 0;
+        Queue.add bid q
+      end)
+    seeds;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if dist.(u) < radius then
+      Array.iter
+        (fun (e : edge) ->
+          if dist.(e.dst) < 0 then begin
+            dist.(e.dst) <- dist.(u) + 1;
+            Queue.add e.dst q
+          end)
+        t.edges.(u)
+  done;
+  Array.map (fun d -> d >= 0) dist
+
 let frag_rho_in t ~cell b =
   match List.assoc_opt b.id t.cell_frags.(cell) with Some r -> r | None -> 0.
 

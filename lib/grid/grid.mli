@@ -148,6 +148,17 @@ val move_whole : t -> cell:int -> dst:bin -> unit
 (** Move the complete cell (all fractions, §III-B) into [dst]; updates the
     cell's effective width when [dst] is on another die. *)
 
+val cell_bins : t -> int -> int list
+(** Ids of the bins currently holding fragments of the cell (empty when
+    unassigned). *)
+
+val dirty_region : t -> seeds:int list -> radius:int -> bool array
+(** [dirty_region t ~seeds ~radius] marks every bin within [radius] BFS
+    hops of a seed bin, walking all edge kinds (horizontal, vertical,
+    D2D).  Out-of-range seed ids are ignored.  The result indexes by bin
+    id and is the movement mask of the incremental (ECO) legalizer: a
+    radius-k ball bounds everything k relay hops can touch. *)
+
 val frag_rho_in : t -> cell:int -> bin -> float
 (** Fraction of [cell] currently in [bin] (0 when absent). *)
 

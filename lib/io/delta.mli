@@ -1,0 +1,43 @@
+(** Text format for engineering-change-order (ECO) deltas: the small
+    perturbations [Tdf_incremental.Eco] re-legalizes against a previously
+    legal placement.
+
+    Grammar (one op per line, whitespace separated, [#] comments):
+
+    {v
+    move <cell> <x> <y> <die>          reposition an existing cell
+    resize <cell> <w0> [w1 ...]        new per-die widths (one per die)
+    add <name> <x> <y> <die> <w0> [w1 ...]   new cell (id assigned densely)
+    remove <cell>                      drop a cell (later ids shift down)
+    macro <name> <die> <x> <y> <w> <h> new fixed blockage
+    v}
+
+    Cell ids refer to the {e original} design; id remapping after removals
+    is the perturbation layer's job ({!Tdf_incremental.Perturb}). *)
+
+type op =
+  | Move of { cell : int; x : int; y : int; die : int }
+  | Resize of { cell : int; widths : int array }
+  | Add of { name : string; x : int; y : int; die : int; widths : int array }
+  | Remove of { cell : int }
+  | Add_macro of { name : string; die : int; x : int; y : int; w : int; h : int }
+
+type t = op list
+(** Ops apply in file order; at most one op may target a given cell
+    (enforced by the perturbation layer, not the parser). *)
+
+val read : string -> (t, string) result
+(** Parse delta text.  Errors carry ["line N: ..."] diagnostics like the
+    other parsers in this library. *)
+
+val to_string : t -> string
+(** Render back to the text format ({!read} of the result round-trips). *)
+
+val load : string -> (t, string) result
+(** Read a delta file from disk. *)
+
+val save : string -> t -> unit
+
+val read_exn : string -> t
+
+val load_exn : string -> t

@@ -64,7 +64,7 @@ let bound cfg grid src best =
     best +. (cfg.Config.alpha *. (Float.abs best +. float_of_int h_r))
   end
 
-let search cfg grid st ~src =
+let search ?mask cfg grid st ~src =
   Tdf_telemetry.span "flow3d.augment" @@ fun () ->
   st.epoch <- st.epoch + 1;
   st.pops <- 0;
@@ -103,6 +103,10 @@ let search cfg grid st ~src =
                   match e.Grid.kind with
                   | Grid.D2d -> cfg.Config.d2d_edges
                   | Grid.Horizontal | Grid.Vertical -> true
+                in
+                let allowed =
+                  allowed
+                  && (match mask with None -> true | Some m -> m.(e.Grid.dst))
                 in
                 if allowed && st.visited.(e.Grid.dst) <> epoch then begin
                   let v = grid.Grid.bins.(e.Grid.dst) in

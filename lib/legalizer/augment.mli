@@ -26,11 +26,17 @@ type state
 
 val create_state : Grid.t -> state
 
-val search : Config.t -> Grid.t -> state -> src:Grid.bin -> path option
+val search :
+  ?mask:bool array -> Config.t -> Grid.t -> state -> src:Grid.bin -> path option
 (** [search cfg grid st ~src] finds the cheapest augmenting path resolving
     the overflow of [src], or [None] when no reachable bin chain can absorb
     it.  [cfg.exhaustive] disables pruning and explores the whole reachable
-    graph (vanilla Dijkstra SSP, the BonnPlaceLegal behaviour). *)
+    graph (vanilla Dijkstra SSP, the BonnPlaceLegal behaviour).
+
+    [mask], when given, freezes every bin [b] with [mask.(b) = false]: the
+    search never expands into masked-out bins, so realized paths stay
+    inside the allowed region — the localization primitive of the
+    incremental (ECO) legalizer.  [src] itself must be allowed. *)
 
 val expansions : state -> int
 (** Number of queue pops performed by the last search (profiling hook). *)

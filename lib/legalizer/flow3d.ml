@@ -52,15 +52,29 @@ let eps = 1e-6
    the historical [eps = 1e-6] resolution threshold. *)
 let supply_micro b = int_of_float (Float.round (Grid.supply b *. 1e6))
 
-(* Alg. 2 lines 4-10: resolve supply bins in descending supply order. *)
-let flow_pass cfg ~budget grid =
+type pass_stats = {
+  pass_augmentations : int;
+  pass_expansions : int;
+  pass_failed : int;
+  pass_reliefs : int;
+  pass_complete : bool;
+}
+
+(* Alg. 2 lines 4-10: resolve supply bins in descending supply order.
+   With [mask] set, the pass is localized: only masked-in supply bins are
+   queued, the path search never expands outside the mask, and relief
+   destinations stay inside it — everything else is frozen.  This is the
+   re-legalization kernel of the incremental (ECO) engine. *)
+let local_pass ?mask cfg ~budget grid =
   Tdf_telemetry.span "flow3d.flow_pass" @@ fun () ->
   let state = Augment.create_state grid in
   let scratch = Mover.create_scratch () in
   let q = Heap.create () in
   let retries = Hashtbl.create 64 in
+  let in_mask bid = match mask with None -> true | Some m -> m.(bid) in
   List.iter
-    (fun (b : Grid.bin) -> Heap.add q ~key:(-supply_micro b) b.Grid.id)
+    (fun (b : Grid.bin) ->
+      if in_mask b.Grid.id then Heap.add q ~key:(-supply_micro b) b.Grid.id)
     (Grid.overflowed_bins grid);
   let augmentations = ref 0 and expansions = ref 0 and failed = ref 0 in
   let reliefs = ref 0 in
@@ -101,10 +115,11 @@ let flow_pass cfg ~budget grid =
           end
           else incr failed
         in
-        (match Augment.search cfg grid state ~src:b with
+        (match Augment.search ?mask cfg grid state ~src:b with
         | None ->
           expansions := !expansions + Augment.expansions state;
-          if !reliefs < relief_budget && Relief.relieve cfg grid ~src:b then begin
+          if !reliefs < relief_budget && Relief.relieve ?mask cfg grid ~src:b
+          then begin
             incr reliefs;
             let msup' = supply_micro b in
             if msup' > 1 then Heap.add q ~key:(-msup') bid
@@ -125,7 +140,15 @@ let flow_pass cfg ~budget grid =
   Tdf_telemetry.count "flow3d.failed_supplies" !failed;
   Tdf_telemetry.count "flow3d.reliefs" !reliefs;
   if not !complete then Tdf_telemetry.incr "flow3d.budget_stops";
-  (!augmentations, !expansions, !failed, !reliefs, !complete)
+  {
+    pass_augmentations = !augmentations;
+    pass_expansions = !expansions;
+    pass_failed = !failed;
+    pass_reliefs = !reliefs;
+    pass_complete = !complete;
+  }
+
+let flow_pass cfg ~budget grid = local_pass cfg ~budget grid
 
 (* Reusable input-staging buffer for [finalize]: one per domain, grown
    monotonically, so a domain placing many segments stops re-allocating
@@ -149,16 +172,21 @@ let stage_inputs design (s : Grid.segment) cells st =
    Segments are independent subproblems — each touches only the placement
    slots of its own cells — so they fan out over the domain pool; every
    segment's result depends only on its own cells, making the parallel
-   placement bit-identical to the sequential one. *)
-let finalize grid (p : Placement.t) =
+   placement bit-identical to the sequential one.  With [only] set, only
+   the selected segments are re-placed; the untouched ones keep whatever
+   [p] already records (the incremental engine's frozen segments). *)
+let place_segments ?only grid (p : Placement.t) =
   Tdf_telemetry.span "flow3d.place_row" @@ fun () ->
   let design = grid.Grid.design in
   let segments = grid.Grid.segments in
+  let selected sid = match only with None -> true | Some m -> m.(sid) in
   Tdf_par.run_local
     ~local:(fun () -> { stage_buf = [||] })
     ~n:(Array.length segments)
     (fun st si ->
       let s = segments.(si) in
+      if not (selected s.Grid.sid) then ()
+      else
       match Grid.cells_of_segment grid s.Grid.sid with
       | [] -> ()
       | cells ->
@@ -177,6 +205,8 @@ let finalize grid (p : Placement.t) =
             p.Placement.y.(pl.Place_row.pl_cell) <- y;
             p.Placement.die.(pl.Place_row.pl_cell) <- s.Grid.s_die)
           placed)
+
+let finalize grid p = place_segments grid p
 
 (* Normalized displacement metrics (the paper's Tables are row-height
    normalized, so post-opt acceptance must be too: a raw improvement on a
@@ -245,18 +275,16 @@ let one_pass cfg ~budget design ~bin_factor ?reuse (start : Placement.t)
       fill grid;
       grid
   in
-  let augmentations, expansions, failed, reliefs, complete =
-    flow_pass cfg ~budget grid
-  in
+  let ps = flow_pass cfg ~budget grid in
   let p = Placement.copy start in
   finalize grid p;
   ( p,
-    augmentations,
-    expansions,
-    failed,
-    reliefs,
+    ps.pass_augmentations,
+    ps.pass_expansions,
+    ps.pass_failed,
+    ps.pass_reliefs,
     Grid.total_overflow grid,
-    complete,
+    ps.pass_complete,
     grid )
 
 let count_d2d design (p : Placement.t) =

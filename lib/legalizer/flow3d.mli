@@ -66,3 +66,36 @@ val legalize_from :
 
 val flow_bin_width : Tdf_netlist.Design.t -> factor:float -> int
 (** w_v = factor · w̄_c (§III-F), at least 1. *)
+
+(** {2 Localized kernel (incremental / ECO re-legalization)}
+
+    The two phases of one legalization pass, exposed with region masks so
+    [Tdf_incremental.Eco] can re-run them over a dirty subset of the grid
+    while everything outside stays frozen. *)
+
+type pass_stats = {
+  pass_augmentations : int;
+  pass_expansions : int;
+  pass_failed : int;  (** supply bins given up on (left overflowed) *)
+  pass_reliefs : int;
+  pass_complete : bool;  (** [false] when the budget expired mid-pass *)
+}
+
+val local_pass :
+  ?mask:bool array ->
+  Config.t ->
+  budget:Tdf_util.Budget.t ->
+  Tdf_grid.Grid.t ->
+  pass_stats
+(** Resolve the grid's overflowed bins in descending supply order (Alg. 2
+    lines 4–10) on an already-assigned grid.  With [mask] (indexed by bin
+    id) only masked-in supply bins are queued and neither the augmenting
+    search nor the relief fallback ever touches a masked-out bin.  Without
+    [mask] this is exactly the full flow pass [run] performs. *)
+
+val place_segments :
+  ?only:bool array -> Tdf_grid.Grid.t -> Tdf_netlist.Placement.t -> unit
+(** Abacus PlaceRow (§III-D) on the grid's segments, writing final
+    positions into the placement.  With [only] (indexed by segment id)
+    untouched segments keep whatever the placement already records —
+    the frozen-region half of the ECO contract. *)

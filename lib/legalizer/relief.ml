@@ -10,18 +10,19 @@ let util_ok cfg grid (b : Grid.bin) w =
   || (grid.Grid.die_used.(b.Grid.die) +. w) /. grid.Grid.die_cap.(b.Grid.die)
      <= max_util
 
-let relieve cfg grid ~src =
+let relieve ?mask cfg grid ~src =
   Tdf_telemetry.span "flow3d.relief" @@ fun () ->
   (* Cheapest (cell, destination) pair over src's cells × bins with enough
      demand.  O(#cells(src) · #bins); only used on search dead-ends. *)
   let design = grid.Grid.design in
+  let allowed bid = match mask with None -> true | Some m -> m.(bid) in
   let best = ref None in
   List.iter
     (fun (f : Grid.frag) ->
       let c = Design.cell design f.Grid.cell in
       Array.iter
         (fun (b : Grid.bin) ->
-          if b.Grid.id <> src.Grid.id then begin
+          if b.Grid.id <> src.Grid.id && allowed b.Grid.id then begin
             let w = float_of_int (Cell.width_on c b.Grid.die) in
             let die_ok =
               b.Grid.die = src.Grid.die

@@ -76,20 +76,20 @@ type attempt =
   | Best_effort of Tdf_netlist.Placement.t * Flow3d.stats option
   | Failed of Error.t
 
-let flow_attempt ~budget_ms cfg design =
+let flow_attempt ?start ~budget_ms cfg design =
   let budget =
     match budget_ms with
     | None -> Budget.unlimited
     | Some ms -> Budget.create ~wall_ms:ms ()
   in
-  match Flow3d.run ~cfg ~budget design with
+  match Flow3d.run ~cfg ~budget ?start design with
   | Error e -> Failed (Error.of_flow3d e)
   | Ok r ->
     if Legality.is_legal design r.Flow3d.placement then
       Legal (r.Flow3d.placement, Some r.Flow3d.stats)
     else Best_effort (r.Flow3d.placement, Some r.Flow3d.stats)
 
-let run ?(opts = default_options) ?(cfg = Config.default) design =
+let run ?(opts = default_options) ?(cfg = Config.default) ?start design =
   Tdf_telemetry.span "robust.pipeline" @@ fun () ->
   match preflight opts design with
   | Error e -> Error e
@@ -105,14 +105,16 @@ let run ?(opts = default_options) ?(cfg = Config.default) design =
             stats }
       | Failed e -> Error e
     in
-    let primary = flow_attempt ~budget_ms:opts.budget_ms cfg design in
+    let primary = flow_attempt ?start ~budget_ms:opts.budget_ms cfg design in
     match primary with
     | Legal _ -> finish Primary 1 primary
     | (Best_effort _ | Failed _) when not opts.fallback ->
       finish Primary 1 primary
     | Best_effort _ | Failed _ ->
       Tdf_telemetry.incr "robust.retries";
-      let retry = flow_attempt ~budget_ms:opts.budget_ms (relax cfg) design in
+      let retry =
+        flow_attempt ?start ~budget_ms:opts.budget_ms (relax cfg) design
+      in
       match retry with
       | Legal _ -> finish Relaxed 2 retry
       | Best_effort _ | Failed _ ->

@@ -57,8 +57,12 @@ type report = {
 val run :
   ?opts:options ->
   ?cfg:Tdf_legalizer.Config.t ->
+  ?start:Tdf_netlist.Placement.t ->
   Tdf_netlist.Design.t ->
   (report, Error.t) result
-(** Telemetry: increments ["validate.errors"] per fatal preflight issue,
-    ["robust.retries"] per relaxed retry, ["robust.fallbacks"] per Tetris
-    degradation. *)
+(** [start] seeds the Flow3d attempts with an arbitrary placement instead
+    of the design's global placement (the incremental engine's full-rerun
+    fallback passes its ECO base placement here); the Tetris fallback
+    always starts from scratch.  Telemetry: increments ["validate.errors"]
+    per fatal preflight issue, ["robust.retries"] per relaxed retry,
+    ["robust.fallbacks"] per Tetris degradation. *)

@@ -1,0 +1,327 @@
+(* Incremental (ECO) engine: delta parsing, perturbation semantics, and
+   differential properties of the localized re-legalization — legal
+   results, frozen regions, bounded disturbance, job-count determinism. *)
+
+module Design = Tdf_netlist.Design
+module Cell = Tdf_netlist.Cell
+module Placement = Tdf_netlist.Placement
+module Flow3d = Tdf_legalizer.Flow3d
+module Legality = Tdf_metrics.Legality
+module Delta = Tdf_io.Delta
+module Perturb = Tdf_incremental.Perturb
+module Eco = Tdf_incremental.Eco
+module Prng = Tdf_util.Prng
+
+let check = Alcotest.(check bool)
+
+(* ---- delta text format -------------------------------------------- *)
+
+let test_delta_roundtrip () =
+  let ops =
+    [
+      Delta.Move { cell = 3; x = 10; y = 20; die = 1 };
+      Delta.Resize { cell = 4; widths = [| 5; 7 |] };
+      Delta.Add { name = "u9"; x = 1; y = 2; die = 0; widths = [| 4; 4 |] };
+      Delta.Remove { cell = 0 };
+      Delta.Add_macro { name = "m1"; die = 1; x = 8; y = 10; w = 12; h = 10 };
+    ]
+  in
+  match Delta.read (Delta.to_string ops) with
+  | Ok ops' -> check "round-trips" true (ops = ops')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_delta_comments_and_blanks () =
+  let text = "# eco\n\n  move 1 2 3 0   # trailing\n\tremove 7\n" in
+  match Delta.read text with
+  | Ok [ Delta.Move { cell = 1; x = 2; y = 3; die = 0 }; Delta.Remove { cell = 7 } ]
+    ->
+    ()
+  | Ok _ -> Alcotest.fail "wrong ops"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_delta_diagnostics () =
+  (match Delta.read "move 1 2 3\n" with
+  | Error e -> check "line 1 op arity" true (String.length e > 6 && String.sub e 0 6 = "line 1")
+  | Ok _ -> Alcotest.fail "accepted bad arity");
+  (match Delta.read "move 1 2 3 0\nfrobnicate 1\n" with
+  | Error e -> check "line 2 keyword" true (String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "accepted bad keyword");
+  match Delta.read "resize 1 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted non-positive width"
+
+(* ---- perturbation layer -------------------------------------------- *)
+
+let legal_fixture seed =
+  let d = Fixtures.random ~n:40 seed in
+  let prev = (Flow3d.legalize d).Flow3d.placement in
+  Alcotest.(check bool) "fixture signoff legal" true (Legality.is_legal d prev);
+  (d, prev)
+
+let test_perturb_move_resize () =
+  let d, prev = legal_fixture 11 in
+  let delta =
+    [
+      Delta.Move { cell = 5; x = 60; y = 21; die = 1 };
+      Delta.Resize { cell = 9; widths = [| 7; 7 |] };
+    ]
+  in
+  match Perturb.apply d prev delta with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    check "no renumbering" true
+      (Array.for_all2 ( = ) p.Perturb.old_of_new
+         (Array.init (Design.n_cells d) Fun.id));
+    check "seeds are the two perturbed cells" true
+      (List.sort compare p.Perturb.seeds = [ 5; 9 ]);
+    check "not structural" true (not p.Perturb.structural);
+    check "moved cell at target" true
+      (p.Perturb.base.Placement.x.(5) = 60
+      && p.Perturb.base.Placement.y.(5) = 21
+      && p.Perturb.base.Placement.die.(5) = 1);
+    check "moved cell gp anchor updated" true
+      ((Design.cell p.Perturb.design 5).Cell.gp_x = 60);
+    check "resized cell widths updated" true
+      ((Design.cell p.Perturb.design 9).Cell.widths = [| 7; 7 |]);
+    check "unperturbed cell keeps prev coords" true
+      (p.Perturb.base.Placement.x.(0) = prev.Placement.x.(0)
+      && p.Perturb.base.Placement.y.(0) = prev.Placement.y.(0))
+
+let test_perturb_remove_renumbers () =
+  let d, prev = legal_fixture 12 in
+  let n = Design.n_cells d in
+  match Perturb.apply d prev [ Delta.Remove { cell = 3 } ] with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    check "one fewer cell" true (Design.n_cells p.Perturb.design = n - 1);
+    check "removed cell unmapped" true (p.Perturb.new_of_old.(3) = -1);
+    check "later ids shift down" true
+      (p.Perturb.new_of_old.(4) = 3 && p.Perturb.old_of_new.(3) = 4);
+    check "earlier ids stable" true (p.Perturb.new_of_old.(2) = 2);
+    check "no pin references the removed cell" true
+      (Array.for_all
+         (fun (net : Tdf_netlist.Net.t) ->
+           Array.for_all
+             (fun pin -> pin >= 0 && pin < n - 1)
+             net.Tdf_netlist.Net.pins)
+         p.Perturb.design.Design.nets);
+    check "survivors keep prev coords" true
+      (p.Perturb.base.Placement.x.(3) = prev.Placement.x.(4))
+
+let test_perturb_add () =
+  let d, prev = legal_fixture 13 in
+  let n = Design.n_cells d in
+  let delta =
+    [ Delta.Add { name = "eco0"; x = 30; y = 11; die = 0; widths = [| 4; 4 |] } ]
+  in
+  match Perturb.apply d prev delta with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    check "one more cell" true (Design.n_cells p.Perturb.design = n + 1);
+    check "added cell has no old id" true (p.Perturb.old_of_new.(n) = -1);
+    check "added cell is a seed" true (List.mem n p.Perturb.seeds);
+    check "added cell at target" true
+      (p.Perturb.base.Placement.x.(n) = 30 && p.Perturb.base.Placement.die.(n) = 0)
+
+let test_perturb_rejects () =
+  let d, prev = legal_fixture 14 in
+  let bad delta = match Perturb.apply d prev delta with Error _ -> true | Ok _ -> false in
+  check "out-of-range cell" true
+    (bad [ Delta.Move { cell = 999; x = 0; y = 0; die = 0 } ]);
+  check "out-of-range die" true
+    (bad [ Delta.Move { cell = 1; x = 0; y = 0; die = 5 } ]);
+  check "two ops on one cell" true
+    (bad
+       [
+         Delta.Move { cell = 1; x = 0; y = 0; die = 0 };
+         Delta.Remove { cell = 1 };
+       ]);
+  check "widths arity" true (bad [ Delta.Resize { cell = 1; widths = [| 4 |] } ])
+
+(* ---- eco engine ----------------------------------------------------- *)
+
+let test_eco_moves_legal () =
+  let d, prev = legal_fixture 21 in
+  let delta =
+    [
+      Delta.Move { cell = 2; x = 55; y = 25; die = 0 };
+      Delta.Move { cell = 17; x = 60; y = 25; die = 0 };
+      Delta.Move { cell = 30; x = 58; y = 25; die = 1 };
+    ]
+  in
+  match Eco.run d prev delta with
+  | Error e -> Alcotest.fail (Eco.error_to_string e)
+  | Ok r ->
+    check "legal" true (Legality.is_legal r.Eco.design r.Eco.placement);
+    check "dirty region is a subset" true
+      (r.Eco.stats.Eco.dirty_bins <= r.Eco.stats.Eco.total_bins)
+
+let test_eco_structural_delta_legal () =
+  let d, prev = legal_fixture 22 in
+  let delta =
+    [
+      Delta.Remove { cell = 6 };
+      Delta.Add { name = "eco0"; x = 20; y = 15; die = 1; widths = [| 5; 5 |] };
+      Delta.Add_macro { name = "mb"; die = 0; x = 70; y = 20; w = 20; h = 10 };
+    ]
+  in
+  match Eco.run d prev delta with
+  | Error e -> Alcotest.fail (Eco.error_to_string e)
+  | Ok r ->
+    check "legal after remove/add/macro" true
+      (Legality.is_legal r.Eco.design r.Eco.placement)
+
+let test_eco_invalid_delta () =
+  let d, prev = legal_fixture 23 in
+  match Eco.run d prev [ Delta.Remove { cell = -1 } ] with
+  | Error (Eco.Invalid_delta _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Eco.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted invalid delta"
+
+(* A big enough grid that the dirty region genuinely excludes most of it:
+   cells outside must keep their previous coordinates byte-for-byte. *)
+let test_eco_freezes_outside_region () =
+  let d =
+    Tdf_benchgen.Gen.generate_by_name ~scale:0.05 Tdf_benchgen.Spec.Iccad2023
+      "case2"
+  in
+  let prev = (Flow3d.legalize d).Flow3d.placement in
+  let n = Design.n_cells d in
+  let delta =
+    [
+      Delta.Move { cell = 10; x = 500; y = 300; die = 0 };
+      Delta.Move { cell = 42; x = 510; y = 305; die = 0 };
+    ]
+  in
+  match Eco.run d prev delta with
+  | Error e -> Alcotest.fail (Eco.error_to_string e)
+  | Ok r ->
+    check "legal" true (Legality.is_legal r.Eco.design r.Eco.placement);
+    check "solved locally" true
+      (match r.Eco.stats.Eco.path with Eco.Local _ -> true | Eco.Full _ -> false);
+    let unmoved = ref 0 in
+    for c = 0 to n - 1 do
+      if
+        c <> 10 && c <> 42
+        && r.Eco.placement.Placement.x.(c) = prev.Placement.x.(c)
+        && r.Eco.placement.Placement.y.(c) = prev.Placement.y.(c)
+        && r.Eco.placement.Placement.die.(c) = prev.Placement.die.(c)
+      then incr unmoved
+    done;
+    let frac = float_of_int !unmoved /. float_of_int n in
+    if frac < 0.5 then
+      Alcotest.failf "only %.0f%% of cells kept their position (dirty %d/%d bins)"
+        (100. *. frac) r.Eco.stats.Eco.dirty_bins r.Eco.stats.Eco.total_bins
+
+(* ---- differential properties ---------------------------------------- *)
+
+(* Random mixed delta over distinct cells; ids refer to the original
+   design, targets stay inside the fixtures' 120x50 outline. *)
+let random_delta rng d =
+  let n = Design.n_cells d in
+  let k = 1 + Prng.int rng 4 in
+  let used = Array.make n false in
+  let ops = ref [] in
+  for i = 0 to k - 1 do
+    let c = Prng.int rng n in
+    if not used.(c) then begin
+      used.(c) <- true;
+      let op =
+        match Prng.int rng 4 with
+        | 0 ->
+          Delta.Move
+            { cell = c; x = Prng.int rng 116; y = Prng.int rng 50;
+              die = Prng.int rng 2 }
+        | 1 ->
+          Delta.Resize
+            { cell = c;
+              widths = [| 3 + Prng.int rng 5; 3 + Prng.int rng 5 |] }
+        | 2 -> Delta.Remove { cell = c }
+        | _ ->
+          Delta.Add
+            { name = Printf.sprintf "eco%d" i; x = Prng.int rng 116;
+              y = Prng.int rng 50; die = Prng.int rng 2;
+              widths = [| 3 + Prng.int rng 4; 3 + Prng.int rng 4 |] }
+      in
+      ops := op :: !ops
+    end
+  done;
+  List.rev !ops
+
+let eco_exn d prev delta =
+  match Eco.run d prev delta with
+  | Ok r -> r
+  | Error e -> failwith (Eco.error_to_string e)
+
+let prop_eco_legal =
+  Props.test "random delta on legal placement stays legal" ~count:25
+    (Props.int_range 0 1_000_000) (fun seed ->
+      let d = Fixtures.random ~n:40 seed in
+      let prev = (Flow3d.legalize d).Flow3d.placement in
+      let rng = Prng.create (seed + 7) in
+      let delta = random_delta rng d in
+      let r = eco_exn d prev delta in
+      Legality.is_legal r.Eco.design r.Eco.placement)
+
+(* The incremental result may differ from a from-scratch run, but not by
+   much: both displacement summaries are measured against the perturbed
+   design's anchors, and the frozen prev positions were themselves a
+   legalization of (almost) those anchors.  Seeds are fixed, so this is a
+   deterministic regression bound, not a flaky statistical one. *)
+let prop_eco_displacement_bounded =
+  Props.test "eco displacement within 3x+1row of from-scratch" ~count:15
+    (Props.int_range 0 1_000_000) (fun seed ->
+      let d = Fixtures.random ~n:40 seed in
+      let prev = (Flow3d.legalize d).Flow3d.placement in
+      let rng = Prng.create (seed + 13) in
+      let delta = random_delta rng d in
+      let r = eco_exn d prev delta in
+      let scratch = Flow3d.legalize r.Eco.design in
+      let avg p =
+        (Tdf_metrics.Displacement.summary r.Eco.design p)
+          .Tdf_metrics.Displacement.avg_norm
+      in
+      avg r.Eco.placement <= (3. *. avg scratch.Flow3d.placement) +. 1.)
+
+let prop_eco_deterministic_across_jobs =
+  Props.test "identical placements at jobs 1/2/8" ~count:8
+    (Props.int_range 0 1_000_000) (fun seed ->
+      let d = Fixtures.random ~n:40 seed in
+      let prev = (Flow3d.legalize d).Flow3d.placement in
+      let rng = Prng.create (seed + 23) in
+      let delta = random_delta rng d in
+      let run_at jobs =
+        Tdf_par.set_jobs jobs;
+        Fun.protect
+          ~finally:(fun () -> Tdf_par.set_jobs 1)
+          (fun () -> (eco_exn d prev delta).Eco.placement)
+      in
+      let p1 = run_at 1 and p2 = run_at 2 and p8 = run_at 8 in
+      let eq a b =
+        a.Placement.x = b.Placement.x
+        && a.Placement.y = b.Placement.y
+        && a.Placement.die = b.Placement.die
+      in
+      eq p1 p2 && eq p1 p8)
+
+let suite =
+  [
+    Alcotest.test_case "delta round-trip" `Quick test_delta_roundtrip;
+    Alcotest.test_case "delta comments and blanks" `Quick
+      test_delta_comments_and_blanks;
+    Alcotest.test_case "delta diagnostics" `Quick test_delta_diagnostics;
+    Alcotest.test_case "perturb move+resize" `Quick test_perturb_move_resize;
+    Alcotest.test_case "perturb remove renumbers" `Quick
+      test_perturb_remove_renumbers;
+    Alcotest.test_case "perturb add" `Quick test_perturb_add;
+    Alcotest.test_case "perturb rejects bad deltas" `Quick test_perturb_rejects;
+    Alcotest.test_case "eco moves stay legal" `Quick test_eco_moves_legal;
+    Alcotest.test_case "eco structural delta stays legal" `Quick
+      test_eco_structural_delta_legal;
+    Alcotest.test_case "eco rejects invalid delta" `Quick test_eco_invalid_delta;
+    Alcotest.test_case "eco freezes outside the dirty region" `Slow
+      test_eco_freezes_outside_region;
+    prop_eco_legal;
+    prop_eco_displacement_bounded;
+    prop_eco_deterministic_across_jobs;
+  ]

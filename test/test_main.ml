@@ -23,4 +23,6 @@ let () =
       ("robust", Test_robust.suite);
       ("determinism", Test_determinism.suite);
       ("integration", Test_integration.suite);
+      ("incremental", Test_incremental.suite);
+      ("gate", Test_gate.suite);
     ]

@@ -1,0 +1,62 @@
+(* CLI wrapper over [Tdf_gate.Gate]:
+
+     bench_gate --baseline ci/baselines/BENCH_solver.json \
+                --current out/BENCH_solver.json [--max-regression 1.25] \
+                [--inject-slowdown F]
+
+   Exit 0 when every check passes, 1 on a regression or drift, 2 on
+   usage/parse errors.  --inject-slowdown multiplies the current
+   wall-clock numbers before comparing: CI uses it to prove the gate
+   actually fails on a slowdown. *)
+
+let usage () =
+  prerr_endline
+    "usage: bench_gate --baseline FILE --current FILE\n\
+    \                  [--max-regression F] [--inject-slowdown F]";
+  exit 2
+
+let () =
+  let baseline = ref None in
+  let current = ref None in
+  let max_regression = ref None in
+  let inject = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+      baseline := Some v;
+      parse rest
+    | "--current" :: v :: rest ->
+      current := Some v;
+      parse rest
+    | "--max-regression" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 1.0 -> max_regression := Some f
+      | _ ->
+        Printf.eprintf "bench_gate: bad --max-regression %S (need >= 1)\n" v;
+        exit 2);
+      parse rest
+    | "--inject-slowdown" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f > 0.0 -> inject := Some f
+      | _ ->
+        Printf.eprintf "bench_gate: bad --inject-slowdown %S (need > 0)\n" v;
+        exit 2);
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "bench_gate: unknown argument %S\n" arg;
+      usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (!baseline, !current) with
+  | Some baseline, Some current -> (
+    match
+      Tdf_gate.Gate.compare_files ?max_regression:!max_regression
+        ?inject_slowdown:!inject ~baseline ~current ()
+    with
+    | Error msg ->
+      Printf.eprintf "bench_gate: %s\n" msg;
+      exit 2
+    | Ok v ->
+      print_string (Tdf_gate.Gate.render v);
+      exit (if v.Tdf_gate.Gate.passed then 0 else 1))
+  | _ -> usage ()

@@ -1,0 +1,193 @@
+module Json = Tdf_telemetry.Json
+
+type kind = Time | Exact | Bound
+
+type check = {
+  metric : string;
+  kind : kind;
+  baseline : float;
+  current : float;
+  ok : bool;
+}
+
+type verdict = {
+  checks : check list;
+  skipped : string list;
+  passed : bool;
+}
+
+exception Malformed of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let float_field name j =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some v -> v
+  | None -> fail "missing numeric field %S" name
+
+let str_field name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some v -> v
+  | None -> fail "missing string field %S" name
+
+let bool_field name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> b
+  | _ -> fail "missing boolean field %S" name
+
+let list_field name j =
+  match Option.bind (Json.member name j) Json.to_list with
+  | Some v -> v
+  | None -> fail "missing list field %S" name
+
+(* Index a case list by a key field so baseline and current match by name,
+   not position. *)
+let index ~key cases = List.map (fun c -> (str_field key c, c)) cases
+
+let keyed_int ~key cases =
+  List.map
+    (fun c ->
+      match Option.bind (Json.member key c) Json.to_int with
+      | Some v -> (string_of_int v, c)
+      | None -> fail "missing numeric field %S" key)
+    cases
+
+(* One comparable metric of one case: where to read it and how to judge. *)
+type probe = { p_name : string; p_kind : kind; p_read : Json.t -> float }
+
+let solver_probes =
+  [
+    { p_name = "flow"; p_kind = Exact; p_read = float_field "flow" };
+    { p_name = "cost"; p_kind = Exact; p_read = float_field "cost" };
+    { p_name = "solve_s"; p_kind = Time; p_read = float_field "solve_s" };
+    {
+      p_name = "repeat_reuse_s";
+      p_kind = Time;
+      p_read = float_field "repeat_reuse_s";
+    };
+  ]
+
+let eco_probes =
+  [
+    {
+      p_name = "legal";
+      p_kind = Exact;
+      p_read = (fun j -> if bool_field "legal" j then 1. else 0.);
+    };
+    {
+      p_name = "fallbacks";
+      p_kind = Bound;
+      p_read = float_field "fallbacks";
+    };
+    { p_name = "eco_s"; p_kind = Time; p_read = float_field "eco_s" };
+  ]
+
+let judge ~max_regression ~inject_slowdown ~prefix probes base cur =
+  List.map
+    (fun p ->
+      let b = p.p_read base in
+      let c = p.p_read cur in
+      let c = if p.p_kind = Time then c *. inject_slowdown else c in
+      let ok =
+        match p.p_kind with
+        | Exact -> b = c
+        | Bound -> c <= b
+        | Time ->
+          (* A sub-resolution baseline cannot anchor a ratio: hold the
+             current value to the same absolute floor instead. *)
+          let floor_s = 1e-4 in
+          if b < floor_s then c <= floor_s *. max_regression
+          else c <= b *. max_regression
+      in
+      {
+        metric = prefix ^ "/" ^ p.p_name;
+        kind = p.p_kind;
+        baseline = b;
+        current = c;
+        ok;
+      })
+    probes
+
+let pair_up ~section base_cases cur_cases =
+  let skipped = ref [] in
+  let pairs =
+    List.filter_map
+      (fun (name, b) ->
+        match List.assoc_opt name cur_cases with
+        | Some c -> Some (name, b, c)
+        | None ->
+          skipped := (section ^ "/" ^ name ^ " (baseline only)") :: !skipped;
+          None)
+      base_cases
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base_cases) then
+        skipped := (section ^ "/" ^ name ^ " (current only)") :: !skipped)
+    cur_cases;
+  (pairs, List.rev !skipped)
+
+let compare_json ?(max_regression = 1.25) ?(inject_slowdown = 1.0) ~baseline
+    ~current () =
+  try
+    let shape j =
+      if Json.member "cases" j <> None then `Solver
+      else if Json.member "runs" j <> None then `Eco
+      else fail "unrecognized benchmark file (no \"cases\" or \"runs\" field)"
+    in
+    let sb = shape baseline and sc = shape current in
+    if sb <> sc then fail "baseline and current are different benchmark kinds";
+    let section, key, probes, list_name =
+      match sb with
+      | `Solver -> ("solver", `Str "name", solver_probes, "cases")
+      | `Eco -> ("eco", `Int "delta_cells", eco_probes, "runs")
+    in
+    let index_of j =
+      let cases = list_field list_name j in
+      match key with
+      | `Str k -> index ~key:k cases
+      | `Int k -> keyed_int ~key:k cases
+    in
+    let pairs, skipped = pair_up ~section (index_of baseline) (index_of current) in
+    if pairs = [] then fail "no overlapping cases between baseline and current";
+    let checks =
+      List.concat_map
+        (fun (name, b, c) ->
+          judge ~max_regression ~inject_slowdown
+            ~prefix:(section ^ "/" ^ name)
+            probes b c)
+        pairs
+    in
+    Ok { checks; skipped; passed = List.for_all (fun c -> c.ok) checks }
+  with Malformed msg -> Error msg
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok j -> Ok j
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let compare_files ?max_regression ?inject_slowdown ~baseline ~current () =
+  match (load baseline, load current) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok b, Ok c ->
+    compare_json ?max_regression ?inject_slowdown ~baseline:b ~current:c ()
+
+let kind_name = function Time -> "time" | Exact -> "exact" | Bound -> "bound"
+
+let render v =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "%-40s %-6s %12s %12s  %s\n" "metric" "kind" "baseline" "current" "ok";
+  List.iter
+    (fun c ->
+      out "%-40s %-6s %12.6g %12.6g  %s\n" c.metric (kind_name c.kind)
+        c.baseline c.current
+        (if c.ok then "ok" else "FAIL"))
+    v.checks;
+  List.iter (fun s -> out "skipped: %s\n" s) v.skipped;
+  out "%s\n" (if v.passed then "GATE PASS" else "GATE FAIL");
+  Buffer.contents buf
