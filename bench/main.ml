@@ -16,7 +16,12 @@
      TDFLOW_PAR_SCALE  case scale for the parallel sweep (default 0.05)
      TDFLOW_ECO_ONLY  run only the incremental-ECO benchmark and exit
      TDFLOW_SKIP_ECO  set to skip the incremental-ECO benchmark
-     TDFLOW_ECO_SCALE  case scale for the ECO benchmark (default 0.05) *)
+     TDFLOW_ECO_SCALE  case scale for the ECO benchmark (default 0.05)
+     TDFLOW_SERVE_ONLY  run only the serve-daemon benchmark and exit
+     TDFLOW_SKIP_SERVE  set to skip the serve-daemon benchmark
+     TDFLOW_SERVE_SCALE  case scale for the serve benchmark (default 0.05)
+     TDFLOW_SERVE_ECOS  warm ECO requests to stream (default 120)
+     TDFLOW_SERVE_COLD  cold one-shot CLI invocations to chain (default 20) *)
 
 open Bechamel
 
@@ -501,6 +506,264 @@ let run_eco_bench () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Serve daemon: warm-session ECO streaming vs one-shot CLI processes  *)
+(* ------------------------------------------------------------------ *)
+
+module Protocol = Tdf_io.Protocol
+module Client = Tdf_server.Client
+
+(* The real installed binary, spawned as a real daemon process: the bench
+   measures the full socket round-trip, not an in-process shortcut. *)
+let legalize_exe () =
+  let near = Filename.dirname (Filename.dirname Sys.executable_name) in
+  let candidates =
+    [
+      Filename.concat near "bin/legalize.exe";
+      "_build/default/bin/legalize.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some exe -> exe
+  | None -> failwith "serve bench: cannot locate bin/legalize.exe"
+
+let spawn ?(quiet = true) exe args =
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let out = if quiet then dev_null else Unix.stdout in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      dev_null out Unix.stderr
+  in
+  Unix.close dev_null;
+  pid
+
+let wait_exit pid =
+  match snd (Unix.waitpid [] pid) with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> 128 + s
+
+let connect_with_retry sock =
+  let rec go tries =
+    match Client.connect sock with
+    | c -> c
+    | exception Unix.Unix_error _ when tries > 0 ->
+      Unix.sleepf 0.05;
+      go (tries - 1)
+  in
+  go 100
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_serve_bench () =
+  let sscale =
+    match Sys.getenv_opt "TDFLOW_SERVE_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 0.05)
+    | None -> 0.05
+  in
+  let n_ecos =
+    match Option.bind (Sys.getenv_opt "TDFLOW_SERVE_ECOS") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> 120
+  in
+  let n_cold =
+    match Option.bind (Sys.getenv_opt "TDFLOW_SERVE_COLD") int_of_string_opt with
+    | Some n when n > 0 -> min n n_ecos
+    | _ -> min 20 n_ecos
+  in
+  Printf.printf
+    "== serve daemon (iccad2023 case2, scale %.3g, %d warm ecos, %d cold) ==\n"
+    sscale n_ecos n_cold;
+  let exe = legalize_exe () in
+  let design =
+    Tdf_benchgen.Gen.generate_by_name ~scale:sscale Tdf_benchgen.Spec.Iccad2023
+      "case2"
+  in
+  let n = Tdf_netlist.Design.n_cells design in
+  let prev =
+    (Tdf_legalizer.Flow3d.legalize design).Tdf_legalizer.Flow3d.placement
+  in
+  if not (Tdf_metrics.Legality.is_legal design prev) then begin
+    Printf.eprintf "SERVE BENCH: signoff placement is not legal\n";
+    exit 1
+  end;
+  let work = out_path "serve_bench" in
+  if not (Sys.file_exists work) then Sys.mkdir work 0o755;
+  let file name = Filename.concat work name in
+  Tdf_io.Text.save_design (file "d0.design") design;
+  Tdf_io.Text.save_placement (file "p0.place") design prev;
+  (* Move-only deltas: cell ids stay stable across the whole chain, so the
+     same delta files drive both the warm stream and the cold CLI chain. *)
+  let rng = Prng.of_string "serve-bench" in
+  let k = max 2 (n / 300) in
+  let deltas =
+    List.init n_ecos (fun i ->
+        let d = eco_delta ~rng ~design ~prev ~k in
+        Delta.save (file (Printf.sprintf "delta%d.delta" i)) d;
+        d)
+  in
+  (* Warm path: one daemon process, one session, the whole delta stream
+     over a single connection.  A few requests inside the byte-compared
+     prefix override --jobs to 2 (and reset to 1 right after) to prove
+     byte-identity is jobs-invariant on the server side too; the override
+     is not left sticky because pool overhead would drown the latency
+     numbers on dirty regions this small. *)
+  let sock = file "sock" in
+  let server_pid = spawn exe [ "serve"; "--socket"; sock ] in
+  let client = connect_with_retry sock in
+  let reqs =
+    Protocol.Load_design
+      {
+        session = "bench";
+        design = Path (file "d0.design");
+        placement = Some (Path (file "p0.place"));
+      }
+    :: List.mapi
+         (fun i d ->
+           Protocol.Eco
+             {
+               session = "bench";
+               delta = Text (Delta.to_string d);
+               radius = None;
+               max_widenings = None;
+               budget_ms = None;
+               jobs =
+                 (if i mod 40 = 1 then Some 2
+                  else if i mod 40 = 2 then Some 1
+                  else None);
+               want_placement = i < n_cold;
+             })
+         deltas
+  in
+  let summary = Client.Trace.replay client reqs in
+  let stats_reply = Client.call client Protocol.Stats in
+  ignore (Client.call client Protocol.Shutdown);
+  Client.close client;
+  let server_exit = wait_exit server_pid in
+  if server_exit <> 0 then begin
+    Printf.eprintf "SERVE BENCH: daemon exited with %d\n" server_exit;
+    exit 1
+  end;
+  let ecos =
+    List.filter
+      (fun (o : Client.Trace.outcome) ->
+        match o.request with Protocol.Eco _ -> true | _ -> false)
+      summary.Client.Trace.outcomes
+  in
+  let warm_lat =
+    Array.of_list (List.map (fun (o : Client.Trace.outcome) -> o.wall_s *. 1000.) ecos)
+  in
+  let legal = ref true and reused = ref 0 and warm_placements = ref [] in
+  List.iter
+    (fun (o : Client.Trace.outcome) ->
+      match o.response with
+      | Ok (Protocol.Eco_applied r) ->
+        if not r.legal then legal := false;
+        if r.grid_reused then incr reused;
+        Option.iter
+          (fun p -> warm_placements := p :: !warm_placements)
+          r.placement
+      | Ok _ -> ()
+      | Error e ->
+        Printf.eprintf "SERVE BENCH: eco error %s: %s\n" e.Protocol.code
+          e.Protocol.detail;
+        legal := false)
+    ecos;
+  let warm_placements = List.rev !warm_placements in
+  let cache_hit_rate = float_of_int !reused /. float_of_int (List.length ecos) in
+  (* Cold baseline: the same first deltas as fresh `legalize eco` process
+     invocations, files carried forward (moves shift gp anchors, so each
+     step needs the previous step's perturbed design). *)
+  let cold_lat = Array.make n_cold 0. in
+  let byte_identical = ref true in
+  for i = 0 to n_cold - 1 do
+    let args =
+      [
+        "eco";
+        "-d"; file (Printf.sprintf "d%d.design" i);
+        "-p"; file (Printf.sprintf "p%d.place" i);
+        "--delta"; file (Printf.sprintf "delta%d.delta" i);
+        "-o"; file (Printf.sprintf "p%d.place" (i + 1));
+        "--out-design"; file (Printf.sprintf "d%d.design" (i + 1));
+      ]
+    in
+    let code, dt = timed (fun () -> wait_exit (spawn exe args)) in
+    if code <> 0 then begin
+      Printf.eprintf "SERVE BENCH: cold eco %d exited with %d\n" i code;
+      exit 1
+    end;
+    cold_lat.(i) <- dt *. 1000.
+  done;
+  List.iteri
+    (fun i warm ->
+      let cold = read_file (file (Printf.sprintf "p%d.place" (i + 1))) in
+      if warm <> cold then begin
+        byte_identical := false;
+        Printf.eprintf
+          "SERVE BENCH: placement after eco %d differs between the warm \
+           session and the cold CLI chain\n"
+          i
+      end)
+    warm_placements;
+  let pct = Tdf_util.Stats.percentile in
+  let warm_p50 = pct warm_lat 50. and warm_p99 = pct warm_lat 99. in
+  let cold_p50 = pct cold_lat 50. in
+  let speedup_p50 = cold_p50 /. warm_p50 in
+  Printf.printf
+    "  warm: %d ecos, p50 %.2f ms, p99 %.2f ms, grid reuse %.1f%%\n"
+    (List.length ecos) warm_p50 warm_p99 (100. *. cache_hit_rate);
+  Printf.printf "  cold: %d process chains, p50 %.2f ms\n" n_cold cold_p50;
+  Printf.printf "  speedup p50 %.1fx, legal %b, byte-identical %b\n%!"
+    speedup_p50 !legal !byte_identical;
+  let server_stats =
+    match stats_reply with
+    | Ok (Protocol.Stats_snapshot j) -> j
+    | _ -> Json.Null
+  in
+  let json =
+    Json.Obj
+      [
+        ("generated_by", Json.String "bench/main.ml");
+        ("case", Json.String "iccad2023:case2");
+        ("scale", Json.Float sscale);
+        ("n_cells", Json.Int n);
+        ( "serve_runs",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("name", Json.String "case2-move-stream");
+                  ("ecos", Json.Int (List.length ecos));
+                  ("cold_chain", Json.Int n_cold);
+                  ("legal", Json.Bool !legal);
+                  ("byte_identical", Json.Bool !byte_identical);
+                  ("warm_p50_ms", Json.Float warm_p50);
+                  ("warm_p99_ms", Json.Float warm_p99);
+                  ("cold_p50_ms", Json.Float cold_p50);
+                  ("speedup_p50", Json.Float speedup_p50);
+                  ("cache_hit_rate", Json.Float cache_hit_rate);
+                ];
+            ] );
+        ("server_stats", server_stats);
+      ]
+  in
+  let path = out_path "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "Serve benchmark written to %s\n" path;
+  if not (!legal && !byte_identical) then begin
+    Printf.eprintf "SERVE BENCH: correctness check failed\n";
+    exit 1
+  end;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table / figure         *)
 (* ------------------------------------------------------------------ *)
 
@@ -586,10 +849,15 @@ let () =
     run_eco_bench ();
     exit 0
   end;
+  if Sys.getenv_opt "TDFLOW_SERVE_ONLY" <> None then begin
+    run_serve_bench ();
+    exit 0
+  end;
   run_solver_bench ();
   if Sys.getenv_opt "TDFLOW_SOLVER_ONLY" <> None then exit 0;
   if Sys.getenv_opt "TDFLOW_SKIP_PARALLEL" = None then run_parallel_bench ();
   if Sys.getenv_opt "TDFLOW_SKIP_ECO" = None then run_eco_bench ();
+  if Sys.getenv_opt "TDFLOW_SKIP_SERVE" = None then run_serve_bench ();
   Printf.printf "== 3D-Flow reproduction run (scale %.3g) ==\n\n" scale;
   if Sys.getenv_opt "TDFLOW_SKIP_MICRO" = None then run_micro ();
   (* Aggregating telemetry sink over the reproduction run proper (the

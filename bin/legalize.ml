@@ -6,7 +6,10 @@
      legalize compare  — run all methods on a design and print a table
      legalize tables   — regenerate the paper's tables/figures
      legalize viz      — render a die of a placement as SVG
-     legalize eco      — incrementally re-legalize after an ECO delta *)
+     legalize eco      — incrementally re-legalize after an ECO delta
+     legalize serve    — persistent legalization daemon on a Unix socket
+     legalize client   — replay a request trace against a running daemon
+     legalize version  — print the version string *)
 
 open Cmdliner
 
@@ -692,11 +695,13 @@ let place_cmd =
   let run design_path iterations output =
     let design = load_design design_path in
     let r = Tdf_placer.Gp3d.place ~iterations design in
-    let first = List.nth r.Tdf_placer.Gp3d.hpwl_trace 0 in
-    let trace = r.Tdf_placer.Gp3d.hpwl_trace in
-    let last = List.nth trace (List.length trace - 1) in
-    Printf.printf "gp3d: HPWL %.0f -> %.0f over %d iterations\n" first last
-      iterations;
+    (* The trace is empty when iterations = 0; don't crash on it. *)
+    (match r.Tdf_placer.Gp3d.hpwl_trace with
+    | [] -> ()
+    | (first :: _) as trace ->
+      let last = List.nth trace (List.length trace - 1) in
+      Printf.printf "gp3d: HPWL %.0f -> %.0f over %d iterations\n" first last
+        iterations);
     Tdf_io.Text.save_design output (Tdf_placer.Gp3d.apply design r);
     Printf.printf "wrote %s\n" output
   in
@@ -707,13 +712,199 @@ let place_cmd =
           (ignores its current gp positions).")
     Term.(const run $ design_arg $ iterations $ output)
 
+(* ---- serve --------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let max_sessions =
+    Arg.(
+      value & opt int 8
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Warm sessions kept resident; beyond this the least \
+                recently used is evicted.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int (16 * 1024 * 1024)
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request frame; oversized frames are \
+                refused before allocation.")
+  in
+  let budget_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Default wall-clock budget applied to requests that carry \
+                none of their own.")
+  in
+  let run () socket max_sessions max_frame budget_ms tele =
+    with_telemetry tele @@ fun () ->
+    let cfg =
+      {
+        (Tdf_server.Server.default_cfg ~socket_path:socket) with
+        Tdf_server.Server.max_sessions;
+        max_frame;
+        default_budget_ms = budget_ms;
+      }
+    in
+    let server = Tdf_server.Server.create cfg in
+    let stop = ref false in
+    let quit _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+    Printf.printf "tdflow serve: listening on %s\n%!" socket;
+    while (not !stop) && Tdf_server.Server.step server do
+      ()
+    done;
+    let live = Tdf_server.Server.live_sessions server in
+    Tdf_server.Server.close server;
+    (* The session count is part of the printed contract: CI greps it to
+       prove a replayed trace leaks no sessions. *)
+    Printf.printf "tdflow serve: shut down (%d live sessions dropped)\n%!" live
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent legalization daemon: load designs into named \
+          sessions over a Unix-domain socket and stream legalize/ECO \
+          requests against the warm state (see lib/io/protocol.mli for \
+          the wire grammar).")
+    Term.(
+      const run $ jobs_term $ socket_arg $ max_sessions $ max_frame
+      $ budget_ms $ telemetry_term)
+
+(* ---- client -------------------------------------------------------- *)
+
+let client_cmd =
+  let trace =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Request trace to replay: one JSON request per line \
+                (lib/io/protocol.mli grammar); blank lines and # comments \
+                are skipped.")
+  in
+  let out_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-json" ] ~docv:"FILE"
+          ~doc:"Write the replay summary (latency percentiles, error \
+                counts) as JSON to $(docv).")
+  in
+  let require_legal =
+    Arg.(
+      value & flag
+      & info [ "require-legal" ]
+          ~doc:"Exit non-zero when any legalize/eco reply reports an \
+                illegal placement (for CI smoke checks).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print one line per request replayed.")
+  in
+  let run socket trace_path out_json require_legal verbose =
+    let reqs =
+      match Tdf_server.Client.Trace.load trace_path with
+      | Ok reqs -> reqs
+      | Error e ->
+        Printf.eprintf "legalize: %s\n" e;
+        exit 2
+    in
+    let client = Tdf_server.Client.connect socket in
+    let summary = Tdf_server.Client.Trace.replay client reqs in
+    Tdf_server.Client.close client;
+    let illegal = ref 0 in
+    List.iter
+      (fun (o : Tdf_server.Client.Trace.outcome) ->
+        let kind = Tdf_io.Protocol.request_kind o.request in
+        let status =
+          match o.response with
+          | Ok (Tdf_io.Protocol.Legalized { legal; path; _ }) ->
+            if not legal then incr illegal;
+            Printf.sprintf "legal=%b via %s" legal path
+          | Ok (Tdf_io.Protocol.Eco_applied { legal; path; grid_reused; _ }) ->
+            if not legal then incr illegal;
+            Printf.sprintf "legal=%b via %s%s" legal path
+              (if grid_reused then " (warm grid)" else "")
+          | Ok _ -> "ok"
+          | Error e -> Printf.sprintf "error %s: %s" e.Tdf_io.Protocol.code
+                         e.Tdf_io.Protocol.detail
+        in
+        if verbose then
+          Printf.printf "%-13s %8.2f ms  %s\n" kind (o.wall_s *. 1000.) status)
+      summary.Tdf_server.Client.Trace.outcomes;
+    Printf.printf
+      "replayed %d requests in %.2fs: %d ok, %d errors, p50 %.2f ms, p99 \
+       %.2f ms\n"
+      (List.length summary.Tdf_server.Client.Trace.outcomes)
+      summary.Tdf_server.Client.Trace.total_s
+      summary.Tdf_server.Client.Trace.ok
+      summary.Tdf_server.Client.Trace.errors
+      summary.Tdf_server.Client.Trace.p50_ms
+      summary.Tdf_server.Client.Trace.p99_ms;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (Tdf_telemetry.Json.to_string
+             (Tdf_server.Client.Trace.summary_json summary));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      out_json;
+    if summary.Tdf_server.Client.Trace.errors > 0 then exit 1;
+    if require_legal && !illegal > 0 then begin
+      Printf.eprintf "legalize: %d replies reported illegal placements\n"
+        !illegal;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Replay a recorded request trace against a running $(b,serve) \
+          daemon and summarize the latency distribution.")
+    Term.(const run $ socket_arg $ trace $ out_json $ require_legal $ verbose)
+
+(* ---- version ------------------------------------------------------- *)
+
+let version_cmd =
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the tdflow version string.")
+    Term.(const (fun () -> print_endline Version_info.version) $ const ())
+
 let () =
   let info =
-    Cmd.info "legalize" ~version:"1.0.0"
+    Cmd.info "legalize" ~version:Version_info.version
       ~doc:"3D-Flow: flow-based standard-cell legalization for 3D ICs."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ gen_cmd; run_cmd; check_cmd; compare_cmd; tables_cmd; viz_cmd;
-            place_cmd; eco_cmd ]))
+  (* catch:false so run-time failures surface as one-line diagnostics
+     instead of cmdliner's uncaught-exception backtrace dump; argument
+     errors (unknown flags, bad values) still print the usage line. *)
+  let code =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [ gen_cmd; run_cmd; check_cmd; compare_cmd; tables_cmd; viz_cmd;
+             place_cmd; eco_cmd; serve_cmd; client_cmd; version_cmd ])
+    with
+    | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "legalize: %s: %s%s\n" fn (Unix.error_message e)
+        (if arg = "" then "" else " (" ^ arg ^ ")");
+      1
+    | Sys_error msg | Failure msg ->
+      Printf.eprintf "legalize: %s\n" msg;
+      1
+  in
+  exit code

@@ -131,7 +131,46 @@ let dirty_segment_mask grid mask =
     grid.Grid.bins;
   only
 
-let run ?(cfg = default_cfg) design prev delta =
+(* Warm-session scratch shared across a stream of [run_cached] calls: the
+   bin grid (rebound to each perturbed design when structurally
+   compatible) and the MCMF workspace.  One-shot [run] uses a throwaway
+   cache, so the cached path and the cold path execute identical code. *)
+type cache = {
+  mutable grid : (Grid.t * int) option;  (** grid + the bin width it was built at *)
+  ws : Mcmf.Workspace.t;
+  mutable reused_last : bool;  (** the last run reused the cached grid *)
+}
+
+let fresh_cache () =
+  { grid = None; ws = Mcmf.Workspace.create (); reused_last = false }
+
+(* A cached grid is reusable for a new perturbed design exactly when the
+   rebuilt grid would be structurally identical: same dies and macros
+   (deltas only ever add macros, which [Perturb] flags as [structural]),
+   same cell count (the grid's per-cell state arrays are sized by it) and
+   same derived bin width (it feeds segment partitioning).  Cell widths
+   and gp anchors are read through [grid.design] at solve time, so
+   rebinding the record to the new design is enough — no array rebuild. *)
+let grid_for ~cache ~(p : Perturb.t) design bin_width =
+  match cache.grid with
+  | Some (g, bw)
+    when bw = bin_width
+         && (not p.Perturb.structural)
+         && Tdf_netlist.Design.n_cells g.Grid.design
+            = Tdf_netlist.Design.n_cells design ->
+    Tdf_telemetry.incr "eco.grid_reuses";
+    cache.reused_last <- true;
+    let g = { g with Grid.design } in
+    cache.grid <- Some (g, bin_width);
+    g
+  | _ ->
+    Tdf_telemetry.incr "eco.grid_builds";
+    cache.reused_last <- false;
+    let g = Grid.build design ~bin_width in
+    cache.grid <- Some (g, bin_width);
+    g
+
+let run_cached ?(cfg = default_cfg) ~cache design prev delta =
   Tdf_telemetry.span "eco.run" @@ fun () ->
   match Perturb.apply design prev delta with
   | Error msg -> Error (Invalid_delta msg)
@@ -140,13 +179,13 @@ let run ?(cfg = default_cfg) design prev delta =
     let bin_width =
       Flow3d.flow_bin_width design ~factor:cfg.flow.Config.bin_width_factor
     in
-    let grid = Grid.build design ~bin_width in
+    let grid = grid_for ~cache ~p design bin_width in
     let n_cells = Placement.n_cells base in
     let targets =
       Array.init n_cells (fun c ->
           (base.Placement.x.(c), base.Placement.y.(c), base.Placement.die.(c)))
     in
-    let ws = Mcmf.Workspace.create () in
+    let ws = cache.ws in
     let widenings = ref 0 in
     let rec attempt radius tries =
       if tries > cfg.max_widenings then fallback ()
@@ -259,3 +298,61 @@ let run ?(cfg = default_cfg) design prev delta =
       end
     in
     attempt (max 1 cfg.initial_radius) 0
+
+let run ?cfg design prev delta =
+  run_cached ?cfg ~cache:(fresh_cache ()) design prev delta
+
+module Session = struct
+  type t = {
+    mutable design : Tdf_netlist.Design.t;
+    mutable placement : Placement.t;
+    cache : cache;
+    cfg : cfg;
+    mutable ecos : int;
+    mutable grid_reuses : int;
+  }
+
+  let create ?(cfg = default_cfg) design placement =
+    {
+      design;
+      placement = Placement.copy placement;
+      cache = fresh_cache ();
+      cfg;
+      ecos = 0;
+      grid_reuses = 0;
+    }
+
+  let design t = t.design
+
+  let placement t = t.placement
+
+  let ecos t = t.ecos
+
+  let grid_reuses t = t.grid_reuses
+
+  let set_placement t design placement =
+    (* A different design invalidates the cached grid (cell arrays may be
+       sized differently); re-legalizing the same design keeps it warm. *)
+    if not (t.design == design) then begin
+      t.design <- design;
+      t.cache.grid <- None
+    end;
+    t.placement <- Placement.copy placement
+
+  let eco ?cfg t delta =
+    let cfg =
+      match cfg with
+      | Some c -> c
+      | None -> t.cfg
+    in
+    match run_cached ~cfg ~cache:t.cache t.design t.placement delta with
+    | Error _ as e -> e
+    | Ok r ->
+      t.design <- r.design;
+      t.placement <- Placement.copy r.placement;
+      t.ecos <- t.ecos + 1;
+      if t.cache.reused_last then t.grid_reuses <- t.grid_reuses + 1;
+      Ok r
+
+  let grid_reused_last t = t.cache.reused_last
+end

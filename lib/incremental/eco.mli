@@ -87,3 +87,49 @@ val run :
     ultimately the full fallback) after applying [delta].  Deterministic:
     the same inputs produce the same placement at any [--jobs] level,
     like the from-scratch legalizer. *)
+
+(** A warm session for a {e stream} of ECO deltas against one design: the
+    bin grid and the MCMF workspace stay resident between requests, so
+    repeated small deltas skip the dominant rebuild costs.  The grid is
+    reused whenever the perturbed design is structurally compatible (no
+    macro added, same cell count, same derived bin width) and rebuilt
+    transparently otherwise; either way every [eco] call produces results
+    {b byte-identical} to a one-shot {!run} on the same (design, placement,
+    delta) triple — reuse is a wall-clock optimization only, which the
+    server test suite enforces.
+
+    Telemetry: ["eco.grid_reuses"] / ["eco.grid_builds"] count the cache
+    behavior on top of the counters {!run} already emits. *)
+module Session : sig
+  type t
+
+  val create :
+    ?cfg:cfg -> Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> t
+  (** [create design placement] caches [design] with a (presumed legal)
+      [placement]; the placement is copied, never aliased. *)
+
+  val design : t -> Tdf_netlist.Design.t
+  (** The current (possibly perturbed) design of the session. *)
+
+  val placement : t -> Tdf_netlist.Placement.t
+  (** The current placement; legal whenever the last [eco] succeeded. *)
+
+  val set_placement :
+    t -> Tdf_netlist.Design.t -> Tdf_netlist.Placement.t -> unit
+  (** Replace the session state (e.g. after a fresh full legalization).
+      Keeps the warm grid when [design] is physically the same value. *)
+
+  val eco : ?cfg:cfg -> t -> Tdf_io.Delta.t -> (result_t, error) result
+  (** Apply one delta against the session state.  On [Ok] the session
+      advances to the perturbed design and new placement; on [Error] it
+      is left exactly as before (poisoned deltas cannot corrupt it). *)
+
+  val ecos : t -> int
+  (** Successful [eco] calls so far. *)
+
+  val grid_reuses : t -> int
+  (** How many of those reused the warm grid instead of rebuilding. *)
+
+  val grid_reused_last : t -> bool
+  (** Whether the most recent run (successful or not) reused the grid. *)
+end

@@ -1,0 +1,135 @@
+module Frame = Tdf_io.Frame
+module Protocol = Tdf_io.Protocol
+module Json = Tdf_telemetry.Json
+module Timer = Tdf_util.Timer
+module Stats = Tdf_util.Stats
+
+type t = { fd : Unix.file_descr; dec : Frame.decoder; buf : Bytes.t }
+
+let connect ?max_frame path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; dec = Frame.decoder ?max_frame (); buf = Bytes.create 65536 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let rec read_frame t =
+  match Frame.next t.dec with
+  | Error e -> failwith ("server reply framing lost: " ^ Frame.error_to_string e)
+  | Ok (Some payload) -> payload
+  | Ok None -> (
+    match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+    | 0 -> failwith "server closed the connection mid-reply"
+    | n ->
+      Frame.feed t.dec (Bytes.sub_string t.buf 0 n);
+      read_frame t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_frame t)
+
+let call t req =
+  write_all t.fd (Frame.encode (Protocol.request_to_string req));
+  match Protocol.response_of_string (read_frame t) with
+  | Ok resp -> resp
+  | Error msg -> failwith ("unintelligible server reply: " ^ msg)
+
+let call_timed t req = Timer.time (fun () -> call t req)
+
+module Trace = struct
+  let load path =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      let lines = String.split_on_char '\n' text in
+      let rec go lineno acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          let trimmed = String.trim line in
+          if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc rest
+          else (
+            match Protocol.request_of_string trimmed with
+            | Ok req -> go (lineno + 1) (req :: acc) rest
+            | Error e ->
+              Error
+                (Printf.sprintf "%s:%d: %s: %s" path lineno e.Protocol.code
+                   e.Protocol.detail))
+      in
+      go 1 [] lines
+    with Sys_error msg -> Error msg
+
+  let save path reqs =
+    let oc = open_out_bin path in
+    List.iter
+      (fun req ->
+        output_string oc (Protocol.request_to_string req);
+        output_char oc '\n')
+      reqs;
+    close_out oc
+
+  type outcome = {
+    request : Protocol.request;
+    response : Protocol.response;
+    wall_s : float;
+  }
+
+  type summary = {
+    outcomes : outcome list;
+    total_s : float;
+    ok : int;
+    errors : int;
+    p50_ms : float;
+    p99_ms : float;
+    max_ms : float;
+  }
+
+  let replay t reqs =
+    let outcomes, total_s =
+      Timer.time (fun () ->
+          List.map
+            (fun request ->
+              let response, wall_s = call_timed t request in
+              { request; response; wall_s })
+            reqs)
+    in
+    let lat =
+      Array.of_list (List.map (fun o -> o.wall_s *. 1000.) outcomes)
+    in
+    let ok, errors =
+      List.fold_left
+        (fun (ok, err) o ->
+          match o.response with Ok _ -> (ok + 1, err) | Error _ -> (ok, err + 1))
+        (0, 0) outcomes
+    in
+    {
+      outcomes;
+      total_s;
+      ok;
+      errors;
+      p50_ms = Stats.percentile lat 50.;
+      p99_ms = Stats.percentile lat 99.;
+      max_ms = Stats.max_value lat;
+    }
+
+  let summary_json s =
+    Json.Obj
+      [
+        ("requests", Json.Int (List.length s.outcomes));
+        ("ok", Json.Int s.ok);
+        ("errors", Json.Int s.errors);
+        ("total_s", Json.Float s.total_s);
+        ("p50_ms", Json.Float s.p50_ms);
+        ("p99_ms", Json.Float s.p99_ms);
+        ("max_ms", Json.Float s.max_ms);
+      ]
+end

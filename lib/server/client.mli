@@ -1,0 +1,56 @@
+(** Client side of the [tdflow serve] protocol: a blocking
+    request/response connection plus a trace replay driver.
+
+    A {e trace} is a JSONL file — one request document per line, exactly
+    the wire encoding of {!Tdf_io.Protocol.request_to_string} — so a
+    recorded session can be replayed verbatim against a live server
+    ([tdflow client --trace]) and its latency distribution summarized for
+    the serve benchmark. *)
+
+type t
+
+val connect : ?max_frame:int -> string -> t
+(** Connect to the Unix-domain socket at this path.  Raises
+    [Unix.Unix_error] when nothing is listening. *)
+
+val close : t -> unit
+
+val call : t -> Tdf_io.Protocol.request -> Tdf_io.Protocol.response
+(** Send one request and block for its reply.  Raises [Failure] when the
+    connection drops or the server's reply stream is unintelligible —
+    client-side framing loss is not recoverable. *)
+
+val call_timed : t -> Tdf_io.Protocol.request -> Tdf_io.Protocol.response * float
+(** {!call} plus wall-clock seconds spent waiting. *)
+
+(** Trace files and replay. *)
+module Trace : sig
+  val load : string -> (Tdf_io.Protocol.request list, string) result
+  (** Parse a JSONL trace file; blank lines and [#] comments are
+      skipped.  The error names the offending line. *)
+
+  val save : string -> Tdf_io.Protocol.request list -> unit
+
+  type outcome = {
+    request : Tdf_io.Protocol.request;
+    response : Tdf_io.Protocol.response;
+    wall_s : float;
+  }
+
+  type summary = {
+    outcomes : outcome list;  (** in trace order *)
+    total_s : float;
+    ok : int;
+    errors : int;
+    p50_ms : float;
+    p99_ms : float;
+    max_ms : float;
+  }
+
+  val replay : t -> Tdf_io.Protocol.request list -> summary
+  (** Send each request in order over one connection, timing each reply.
+      Error responses are recorded, not raised — a replay measures the
+      server, it does not assert on it. *)
+
+  val summary_json : summary -> Tdf_telemetry.Json.t
+end

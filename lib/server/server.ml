@@ -1,0 +1,617 @@
+module Frame = Tdf_io.Frame
+module Protocol = Tdf_io.Protocol
+module Text = Tdf_io.Text
+module Contest = Tdf_io.Contest
+module Delta = Tdf_io.Delta
+module Json = Tdf_telemetry.Json
+module Eco = Tdf_incremental.Eco
+module Pipeline = Tdf_robust.Pipeline
+module Placement = Tdf_netlist.Placement
+module Design = Tdf_netlist.Design
+module Legality = Tdf_metrics.Legality
+module Failpoint = Tdf_util.Failpoint
+module Timer = Tdf_util.Timer
+module Stats = Tdf_util.Stats
+
+type cfg = {
+  socket_path : string;
+  max_sessions : int;
+  max_frame : int;
+  default_budget_ms : int option;
+  eco : Eco.cfg;
+}
+
+let default_cfg ~socket_path =
+  {
+    socket_path;
+    max_sessions = 8;
+    max_frame = 16 * 1024 * 1024;
+    default_budget_ms = None;
+    eco = Eco.default_cfg;
+  }
+
+type session = {
+  id : string;
+  sess : Eco.Session.t;
+  mutable last_used : int;
+  mutable requests : int;
+}
+
+(* Growable latency sample store; percentiles are computed on demand. *)
+module Samples = struct
+  type t = { mutable a : float array; mutable n : int }
+
+  let create () = { a = Array.make 256 0.; n = 0 }
+
+  let add t v =
+    if t.n = Array.length t.a then begin
+      let a = Array.make (2 * t.n) 0. in
+      Array.blit t.a 0 a 0 t.n;
+      t.a <- a
+    end;
+    t.a.(t.n) <- v;
+    t.n <- t.n + 1
+
+  let to_array t = Array.sub t.a 0 t.n
+end
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  pending : string Queue.t;
+  mutable alive : bool;
+}
+
+type t = {
+  cfg : cfg;
+  listen_fd : Unix.file_descr option;  (** [None] for socketless (test) use *)
+  mutable conns : conn list;
+  sessions : (string, session) Hashtbl.t;
+  mutable tick : int;
+  started_ns : int64;
+  (* stats *)
+  mutable requests : int;
+  mutable errors : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable max_queue : int;
+  req_kinds : (string, int ref) Hashtbl.t;
+  latencies_ms : Samples.t;
+  mutable stop : bool;
+}
+
+let make cfg listen_fd =
+  {
+    cfg;
+    listen_fd;
+    conns = [];
+    sessions = Hashtbl.create 16;
+    tick = 0;
+    started_ns = Timer.now_ns ();
+    requests = 0;
+    errors = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    max_queue = 0;
+    req_kinds = Hashtbl.create 8;
+    latencies_ms = Samples.create ();
+    stop = false;
+  }
+
+let create cfg =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  make cfg (Some fd)
+
+let stopping t = t.stop
+
+let live_sessions t = Hashtbl.length t.sessions
+
+let drop_sessions t =
+  let n = Hashtbl.length t.sessions in
+  Hashtbl.reset t.sessions;
+  n
+
+(* ---- session cache -------------------------------------------------- *)
+
+let touch t s =
+  t.tick <- t.tick + 1;
+  s.last_used <- t.tick
+
+let find_session t id =
+  match Hashtbl.find_opt t.sessions id with
+  | Some s ->
+    t.hits <- t.hits + 1;
+    Tdf_telemetry.incr "serve.cache.hit";
+    touch t s;
+    s.requests <- s.requests + 1;
+    Some s
+  | None ->
+    t.misses <- t.misses + 1;
+    Tdf_telemetry.incr "serve.cache.miss";
+    None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ s acc ->
+        match acc with
+        | Some best when best.last_used <= s.last_used -> acc
+        | _ -> Some s)
+      t.sessions None
+  in
+  match victim with
+  | Some s ->
+    Hashtbl.remove t.sessions s.id;
+    t.evictions <- t.evictions + 1;
+    Tdf_telemetry.incr "serve.cache.evict"
+  | None -> ()
+
+let insert_session t id sess =
+  (* Replacing an existing id is an update, not an eviction. *)
+  if not (Hashtbl.mem t.sessions id) then
+    while Hashtbl.length t.sessions >= max 1 t.cfg.max_sessions do
+      evict_lru t
+    done;
+  let s = { id; sess; last_used = 0; requests = 1 } in
+  Hashtbl.replace t.sessions id s;
+  touch t s;
+  s
+
+(* ---- request execution ---------------------------------------------- *)
+
+exception Reply_error of Protocol.err
+
+let fail code fmt =
+  Format.kasprintf
+    (fun detail -> raise (Reply_error { Protocol.code; detail }))
+    fmt
+
+(* Rewrite "line N: ..." parser diagnostics into file:line: form when the
+   source was a file, like the CLI does. *)
+let parse_diagnostic src msg =
+  match src with
+  | Protocol.Text _ -> msg
+  | Protocol.Path path ->
+    if String.length msg > 5 && String.sub msg 0 5 = "line " then
+      Printf.sprintf "%s:%s" path
+        (String.sub msg 5 (String.length msg - 5))
+    else Printf.sprintf "%s: %s" path msg
+
+let read_source src =
+  match src with
+  | Protocol.Text t -> t
+  | Protocol.Path path -> (
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg -> fail "parse-error" "%s" msg)
+
+(* The design dialect is sniffed from the first keyword, mirroring the
+   CLI's loader, so a session can be fed either native or contest text. *)
+let parse_design src =
+  let text = read_source src in
+  let is_contest =
+    let rec first_keyword i =
+      if i >= String.length text then ""
+      else
+        let j =
+          match String.index_from_opt text i '\n' with
+          | Some j -> j
+          | None -> String.length text
+        in
+        let line = String.trim (String.sub text i (j - i)) in
+        if line = "" || line.[0] = '#' then first_keyword (j + 1)
+        else
+          match String.index_opt line ' ' with
+          | Some k -> String.sub line 0 k
+          | None -> line
+    in
+    List.mem (first_keyword 0) [ "NumTechnologies"; "Tech"; "DieSize" ]
+  in
+  let result =
+    if is_contest then Result.map fst (Contest.read text)
+    else Text.read_design text
+  in
+  match result with
+  | Ok d -> d
+  | Error e -> fail "parse-error" "%s" (parse_diagnostic src e)
+
+let parse_placement design src =
+  match Text.read_placement design (read_source src) with
+  | Ok p -> p
+  | Error e -> fail "parse-error" "%s" (parse_diagnostic src e)
+
+let parse_delta src =
+  match Delta.read (read_source src) with
+  | Ok d -> d
+  | Error e -> fail "parse-error" "%s" (parse_diagnostic src e)
+
+let required_session t id =
+  match find_session t id with
+  | Some s -> s
+  | None -> fail "unknown-session" "no session %S (use load-design first)" id
+
+(* Float-bearing records (gp anchors, weights, utilization) must encode
+   canonically: re-parsing the canonical text and re-encoding has to
+   reproduce it byte-for-byte, or a placement/design would drift through
+   repeated protocol round-trips. *)
+let assert_design_roundtrip d =
+  let canon = Text.design_to_string d in
+  match Text.read_design canon with
+  | Error e -> fail "freeze-drift" "canonical design text does not re-parse: %s" e
+  | Ok d' ->
+    if Text.design_to_string d' <> canon then
+      fail "freeze-drift" "design text changed across encode/decode round-trip"
+
+let assert_placement_roundtrip design p =
+  let canon = Text.placement_to_string design p in
+  (match Text.read_placement design canon with
+  | Error e ->
+    fail "freeze-drift" "canonical placement text does not re-parse: %s" e
+  | Ok p' ->
+    if Text.placement_to_string design p' <> canon then
+      fail "freeze-drift" "placement text changed across encode/decode round-trip");
+  canon
+
+let set_jobs_opt = function Some j -> Tdf_par.set_jobs j | None -> ()
+
+let eco_cfg_of t ~radius ~max_widenings ~budget_ms =
+  let base = t.cfg.eco in
+  {
+    base with
+    Eco.initial_radius =
+      Option.value radius ~default:base.Eco.initial_radius;
+    Eco.max_widenings =
+      Option.value max_widenings ~default:base.Eco.max_widenings;
+    Eco.budget_ms =
+      (match budget_ms with Some _ -> budget_ms | None -> t.cfg.default_budget_ms);
+  }
+
+let rec handle_req t (req : Protocol.request) : Protocol.response =
+  match req with
+  | Protocol.Ping -> Ok Protocol.Pong
+  | Protocol.Stats -> Ok (Protocol.Stats_snapshot (stats_json_impl t))
+  | Protocol.Shutdown ->
+    t.stop <- true;
+    Ok Protocol.Shutting_down
+  | Protocol.Load_design { session; design; placement } ->
+    let d = parse_design design in
+    assert_design_roundtrip d;
+    let p =
+      match placement with
+      | Some src -> parse_placement d src
+      | None -> Placement.initial d
+    in
+    let sess = Eco.Session.create ~cfg:t.cfg.eco d p in
+    ignore (insert_session t session sess);
+    Ok
+      (Protocol.Loaded
+         {
+           session;
+           n_cells = Design.n_cells d;
+           n_nets = Array.length d.Design.nets;
+           legal = Legality.is_legal d p;
+         })
+  | Protocol.Legalize { session; budget_ms; jobs; want_placement } ->
+    let s = required_session t session in
+    set_jobs_opt jobs;
+    let design = Eco.Session.design s.sess in
+    let opts =
+      {
+        Pipeline.default_options with
+        Pipeline.budget_ms =
+          (match budget_ms with
+          | Some _ -> budget_ms
+          | None -> t.cfg.default_budget_ms);
+      }
+    in
+    let result, wall_s =
+      Timer.time (fun () ->
+          Pipeline.run ~opts ~cfg:t.cfg.eco.Eco.flow
+            ~start:(Eco.Session.placement s.sess) design)
+    in
+    (match result with
+    | Error e -> fail "legalize-failed" "%s" (Tdf_robust.Error.to_string e)
+    | Ok r ->
+      Eco.Session.set_placement s.sess r.Pipeline.design r.Pipeline.placement;
+      let placement =
+        if want_placement then
+          Some (assert_placement_roundtrip r.Pipeline.design r.Pipeline.placement)
+        else None
+      in
+      Ok
+        (Protocol.Legalized
+           {
+             session;
+             legal = r.Pipeline.legal;
+             path = Pipeline.path_name r.Pipeline.path;
+             wall_s;
+             placement;
+           }))
+  | Protocol.Eco
+      { session; delta; radius; max_widenings; budget_ms; jobs; want_placement }
+    ->
+    let s = required_session t session in
+    set_jobs_opt jobs;
+    let delta = parse_delta delta in
+    let cfg = eco_cfg_of t ~radius ~max_widenings ~budget_ms in
+    (* Snapshot so a post-hoc consistency failure can roll the warm
+       session back to its pre-request state.  Only needed when the reply
+       carries placement text (the round-trip assertion can reject). *)
+    let snapshot =
+      if want_placement then
+        Some
+          ( Eco.Session.design s.sess,
+            Placement.copy (Eco.Session.placement s.sess) )
+      else None
+    in
+    let result, wall_s =
+      Timer.time (fun () -> Eco.Session.eco ~cfg s.sess delta)
+    in
+    (match result with
+    | Error (Eco.Invalid_delta msg) -> fail "invalid-delta" "%s" msg
+    | Error e -> fail "eco-failed" "%s" (Eco.error_to_string e)
+    | Ok r ->
+      (* The wire placement must survive encode→decode→re-encode exactly,
+         or the frozen-cell guarantee would silently rot in transit.  The
+         assertion rides only on placement-carrying replies — it is the
+         same text we are about to send. *)
+      let placement_txt =
+        match snapshot with
+        | None -> None
+        | Some (prev_design, prev_placement) -> (
+          try Some (assert_placement_roundtrip r.Eco.design r.Eco.placement)
+          with Reply_error _ as e ->
+            Eco.Session.set_placement s.sess prev_design prev_placement;
+            raise e)
+      in
+      let st = r.Eco.stats in
+      Ok
+        (Protocol.Eco_applied
+           {
+             session;
+             (* [Ok] implies legality: both the local path and the full
+                fallback verify before returning (see eco.ml). *)
+             legal = true;
+             path = Eco.path_name st.Eco.path;
+             dirty_bins = st.Eco.dirty_bins;
+             total_bins = st.Eco.total_bins;
+             widenings = st.Eco.widenings;
+             fallbacks = st.Eco.fallbacks;
+             grid_reused = Eco.Session.grid_reused_last s.sess;
+             wall_s;
+             placement = placement_txt;
+           }))
+  | Protocol.Get_placement { session } ->
+    let s = required_session t session in
+    Ok
+      (Protocol.Placement_text
+         {
+           session;
+           placement =
+             Text.placement_to_string
+               (Eco.Session.design s.sess)
+               (Eco.Session.placement s.sess);
+         })
+
+and stats_json_impl t =
+  let lat = Samples.to_array t.latencies_ms in
+  let pct p = Stats.percentile lat p in
+  let kinds =
+    Hashtbl.fold (fun k n acc -> (k, Json.Int !n) :: acc) t.req_kinds []
+    |> List.sort compare
+  in
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (Timer.ns_to_s (Timer.elapsed_ns t.started_ns)));
+      ("requests", Json.Int t.requests);
+      ("errors", Json.Int t.errors);
+      ("by_kind", Json.Obj kinds);
+      ("sessions", Json.Int (Hashtbl.length t.sessions));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int t.hits);
+            ("misses", Json.Int t.misses);
+            ("evictions", Json.Int t.evictions);
+          ] );
+      ("max_queue_depth", Json.Int t.max_queue);
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("count", Json.Int (Array.length lat));
+            ("mean", Json.Float (Stats.mean lat));
+            ("p50", Json.Float (pct 50.));
+            ("p90", Json.Float (pct 90.));
+            ("p99", Json.Float (pct 99.));
+            ("max", Json.Float (Stats.max_value lat));
+          ] );
+    ]
+
+let stats_json = stats_json_impl
+
+(* Every request runs in its own fault domain: exceptions (including the
+   armed "serve.request" failpoint) become typed error replies and the
+   server keeps serving. *)
+let handle t req =
+  t.requests <- t.requests + 1;
+  Tdf_telemetry.incr "serve.requests";
+  let kind = Protocol.request_kind req in
+  (match Hashtbl.find_opt t.req_kinds kind with
+  | Some n -> incr n
+  | None -> Hashtbl.replace t.req_kinds kind (ref 1));
+  let response, wall_s =
+    Timer.time (fun () ->
+        try
+          if Failpoint.fire "serve.request" then
+            Protocol.error ~code:"injected"
+              "fault injection killed this request (serve.request)"
+          else handle_req t req
+        with
+        | Reply_error e -> Error e
+        | Stack_overflow ->
+          Protocol.error ~code:"internal" "stack overflow during request"
+        | exn -> Protocol.error ~code:"internal" (Printexc.to_string exn))
+  in
+  let ms = wall_s *. 1000. in
+  Samples.add t.latencies_ms ms;
+  Tdf_telemetry.observe "serve.request_ms" ms;
+  (match response with
+  | Error _ ->
+    t.errors <- t.errors + 1;
+    Tdf_telemetry.incr "serve.errors"
+  | Ok _ -> ());
+  response
+
+(* ---- event loop ------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ fd ] [] 1.0)
+  done
+
+let close_conn conn =
+  conn.alive <- false;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let send_response conn resp =
+  try write_all conn.fd (Frame.encode (Protocol.response_to_string resp))
+  with Unix.Unix_error _ -> close_conn conn
+
+let accept_new t fd =
+  let rec loop () =
+    match Unix.accept fd with
+    | client, _ ->
+      Unix.set_nonblock client;
+      t.conns <-
+        {
+          fd = client;
+          dec = Frame.decoder ~max_frame:t.cfg.max_frame ();
+          pending = Queue.create ();
+          alive = true;
+        }
+        :: t.conns;
+      loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let read_conn t conn =
+  let buf = Bytes.create 65536 in
+  let rec drain_frames () =
+    match Frame.next conn.dec with
+    | Ok (Some payload) ->
+      Queue.add payload conn.pending;
+      drain_frames ()
+    | Ok None -> ()
+    | Error e ->
+      (* Framing is lost: reply once with a typed error, then drop the
+         connection — there is no way to resynchronize the stream. *)
+      t.errors <- t.errors + 1;
+      Tdf_telemetry.incr "serve.errors";
+      send_response conn
+        (Protocol.error ~code:"bad-frame" (Frame.error_to_string e));
+      close_conn conn
+  in
+  let rec loop () =
+    if conn.alive then
+      match Unix.read conn.fd buf 0 (Bytes.length buf) with
+      | 0 -> close_conn conn
+      | n ->
+        Frame.feed conn.dec (Bytes.sub_string buf 0 n);
+        drain_frames ();
+        if conn.alive then loop ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) -> close_conn conn
+  in
+  loop ()
+
+let process_pending t =
+  let depth =
+    List.fold_left (fun a c -> a + Queue.length c.pending) 0 t.conns
+  in
+  if depth > t.max_queue then t.max_queue <- depth;
+  if depth > 0 then Tdf_telemetry.observe "serve.queue_depth" (float_of_int depth);
+  (* Round-robin one frame per connection per pass, so one chatty client
+     cannot starve the others. *)
+  let progressed = ref true in
+  while !progressed && not t.stop do
+    progressed := false;
+    List.iter
+      (fun conn ->
+        if conn.alive && (not t.stop) && not (Queue.is_empty conn.pending)
+        then begin
+          progressed := true;
+          let payload = Queue.take conn.pending in
+          let resp =
+            match Protocol.request_of_string payload with
+            | Error e ->
+              t.requests <- t.requests + 1;
+              t.errors <- t.errors + 1;
+              Tdf_telemetry.incr "serve.requests";
+              Tdf_telemetry.incr "serve.errors";
+              Error e
+            | Ok req -> handle t req
+          in
+          send_response conn resp
+        end)
+      t.conns
+  done
+
+let step ?(timeout_ms = 200) t =
+  if t.stop then false
+  else begin
+    let fds =
+      (match t.listen_fd with Some fd -> [ fd ] | None -> [])
+      @ List.filter_map (fun c -> if c.alive then Some c.fd else None) t.conns
+    in
+    let readable, _, _ =
+      try Unix.select fds [] [] (float_of_int timeout_ms /. 1000.)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (match t.listen_fd with
+    | Some fd when List.memq fd readable -> accept_new t fd
+    | _ -> ());
+    List.iter
+      (fun conn ->
+        if conn.alive && List.memq conn.fd readable then read_conn t conn)
+      t.conns;
+    process_pending t;
+    t.conns <- List.filter (fun c -> c.alive) t.conns;
+    not t.stop
+  end
+
+let run t = while step t do () done
+
+let close t =
+  t.stop <- true;
+  List.iter close_conn t.conns;
+  t.conns <- [];
+  (match t.listen_fd with
+  | Some fd -> (
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+  | None -> ());
+  ignore (drop_sessions t)

@@ -1,0 +1,77 @@
+(** The [tdflow serve] daemon: a persistent legalization service over a
+    Unix-domain socket.
+
+    Clients speak the length-prefixed JSON protocol of {!Tdf_io.Frame} /
+    {!Tdf_io.Protocol}: load a design into a named {e session}, legalize
+    it, then stream ECO deltas against the warm session — the design, bin
+    grid and MCMF workspace stay resident ({!Tdf_incremental.Eco.Session}),
+    so a small delta costs a masked local solve instead of a from-scratch
+    run plus file round-trips.  Sessions are LRU-evicted beyond
+    [max_sessions].
+
+    Concurrency model: connections are multiplexed with [select] and
+    requests execute {e one at a time} on the accept loop — cross-request
+    determinism and session-cache consistency come for free — while each
+    request exploits multicore through the {!Tdf_par} pool (the [jobs]
+    request field, like the CLI's [--jobs], resizes it).  Every request
+    runs inside its own fault domain: an exception, a poisoned design or
+    an exhausted budget yields a typed error {e reply} and leaves the
+    server and its session cache intact.
+
+    Fault injection: the ["serve.request"] failpoint
+    ({!Tdf_util.Failpoint}) makes the next request die mid-execution with
+    an ["injected"] error reply — the kill-mid-request case the test
+    suite exercises.
+
+    Telemetry (when a sink is installed): counters ["serve.requests"],
+    ["serve.errors"], ["serve.cache.hit"/"miss"/"evict"], observations
+    ["serve.request_ms"] and ["serve.queue_depth"], plus everything the
+    underlying engines already emit.  The same numbers are always
+    available in-band through a [stats] request, sink or no sink. *)
+
+type cfg = {
+  socket_path : string;
+  max_sessions : int;  (** LRU capacity of the session cache (default 8) *)
+  max_frame : int;  (** per-frame payload cap in bytes (default 16 MiB) *)
+  default_budget_ms : int option;
+      (** budget applied when a request carries none (default [None]) *)
+  eco : Tdf_incremental.Eco.cfg;  (** base ECO knobs; requests override *)
+}
+
+val default_cfg : socket_path:string -> cfg
+
+type t
+
+val create : cfg -> t
+(** Bind and listen on [cfg.socket_path] (an existing stale socket file is
+    replaced).  Raises [Unix.Unix_error] when the path is unusable. *)
+
+val handle : t -> Tdf_io.Protocol.request -> Tdf_io.Protocol.response
+(** Execute one request directly, bypassing the socket — the unit-test
+    entry point, and exactly the function the accept loop calls.  Never
+    raises: failures become error responses.  A [Shutdown] request marks
+    the server stopping (visible via {!stopping}). *)
+
+val step : ?timeout_ms:int -> t -> bool
+(** Run one accept/read/execute/reply round of the event loop, waiting at
+    most [timeout_ms] (default 200) for activity.  Returns [false] once a
+    shutdown request has been served (the loop should stop). *)
+
+val run : t -> unit
+(** {!step} until shutdown. *)
+
+val stopping : t -> bool
+
+val live_sessions : t -> int
+
+val drop_sessions : t -> int
+(** Drop every cached session, returning how many were live. *)
+
+val close : t -> unit
+(** Close every connection and the listening socket, unlink the socket
+    path, and drop all sessions.  Idempotent. *)
+
+val stats_json : t -> Tdf_telemetry.Json.t
+(** The same snapshot a [stats] request returns: request/error totals and
+    per-kind counts, cache hits/misses/evictions, live session count,
+    queue-depth high-water mark, and request-latency percentiles. *)

@@ -24,5 +24,6 @@ let () =
       ("determinism", Test_determinism.suite);
       ("integration", Test_integration.suite);
       ("incremental", Test_incremental.suite);
+      ("server", Test_server.suite);
       ("gate", Test_gate.suite);
     ]

@@ -1,0 +1,519 @@
+(* The serve daemon: framing, protocol decode, request handling against a
+   live server instance, the frozen-cell byte-identity guarantee over the
+   wire, LRU session eviction, fault injection mid-request, and a full
+   socket round-trip driven through the steppable event loop (no fork —
+   worker domains may be live under TDFLOW_JOBS>1). *)
+
+module Frame = Tdf_io.Frame
+module Protocol = Tdf_io.Protocol
+module Text = Tdf_io.Text
+module Delta = Tdf_io.Delta
+module Server = Tdf_server.Server
+module Eco = Tdf_incremental.Eco
+module Flow3d = Tdf_legalizer.Flow3d
+module Legality = Tdf_metrics.Legality
+module Placement = Tdf_netlist.Placement
+module Failpoint = Tdf_util.Failpoint
+
+let check = Alcotest.(check bool)
+
+(* ---- framing -------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; "{\"req\":\"ping\"}"; "line1\nline2\n"; String.make 5000 'z' ] in
+  (* All at once. *)
+  let dec = Frame.decoder () in
+  List.iter (fun p -> Frame.feed dec (Frame.encode p)) payloads;
+  List.iter
+    (fun p ->
+      match Frame.next dec with
+      | Ok (Some got) -> Alcotest.(check string) "payload" p got
+      | Ok None -> Alcotest.fail "frame not ready"
+      | Error e -> Alcotest.fail (Frame.error_to_string e))
+    payloads;
+  check "drained" true (Frame.next dec = Ok None);
+  (* Byte at a time: incremental decode must see the same payloads. *)
+  let dec = Frame.decoder () in
+  let all = String.concat "" (List.map Frame.encode payloads) in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Frame.feed dec (String.make 1 c);
+      match Frame.next dec with
+      | Ok (Some p) -> got := p :: !got
+      | Ok None -> ()
+      | Error e -> Alcotest.fail (Frame.error_to_string e))
+    all;
+  check "byte-at-a-time" true (List.rev !got = payloads)
+
+let test_frame_truncated () =
+  let dec = Frame.decoder () in
+  let frame = Frame.encode "hello world" in
+  (* Every strict prefix of a valid frame must decode to "need more". *)
+  for cut = 0 to String.length frame - 1 do
+    let dec = Frame.decoder () in
+    Frame.feed dec (String.sub frame 0 cut);
+    check "prefix incomplete" true (Frame.next dec = Ok None)
+  done;
+  Frame.feed dec frame;
+  check "whole frame ok" true (Frame.next dec = Ok (Some "hello world"))
+
+let test_frame_oversized () =
+  let dec = Frame.decoder ~max_frame:8 () in
+  Frame.feed dec (Frame.encode (String.make 100 'a'));
+  (match Frame.next dec with
+  | Error (Frame.Oversized { len = 100; limit = 8 }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Frame.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
+  (* The decoder is poisoned: same error forever, feed refuses. *)
+  (match Frame.next dec with
+  | Error (Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "poisoned decoder forgot its error");
+  match Frame.feed dec "more" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "poisoned decoder accepted bytes"
+
+let test_frame_bad_prefix_and_terminator () =
+  let dec = Frame.decoder () in
+  Frame.feed dec "12ab\n";
+  (match Frame.next dec with
+  | Error (Frame.Bad_prefix _) -> ()
+  | _ -> Alcotest.fail "non-decimal prefix accepted");
+  let dec = Frame.decoder () in
+  (* Correct length, wrong terminator byte. *)
+  Frame.feed dec "3\nabcX";
+  match Frame.next dec with
+  | Error Frame.Bad_terminator -> ()
+  | _ -> Alcotest.fail "missing terminator accepted"
+
+(* ---- protocol ------------------------------------------------------- *)
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      Protocol.Ping;
+      Protocol.Stats;
+      Protocol.Shutdown;
+      Protocol.Load_design
+        {
+          session = "s";
+          design = Protocol.Text "cells 0\n";
+          placement = Some (Protocol.Path "/tmp/p.place");
+        };
+      Protocol.Legalize
+        { session = "s"; budget_ms = Some 50; jobs = Some 2; want_placement = true };
+      Protocol.Eco
+        {
+          session = "s";
+          delta = Protocol.Text "move 1 2 3 0\n";
+          radius = Some 2;
+          max_widenings = None;
+          budget_ms = None;
+          jobs = None;
+          want_placement = false;
+        };
+      Protocol.Get_placement { session = "s" };
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_string (Protocol.request_to_string req) with
+      | Ok req' -> check (Protocol.request_kind req) true (req = req')
+      | Error e -> Alcotest.failf "%s: %s" e.Protocol.code e.Protocol.detail)
+    reqs
+
+let decode_err payload =
+  match Protocol.request_of_string payload with
+  | Error e -> e.Protocol.code
+  | Ok _ -> "accepted"
+
+let test_request_decode_errors () =
+  Alcotest.(check string) "syntax" "bad-json" (decode_err "{not json");
+  Alcotest.(check string) "not an object" "bad-request" (decode_err "[1,2]");
+  Alcotest.(check string) "no req field" "bad-request" (decode_err "{\"x\":1}");
+  Alcotest.(check string) "req not a string" "bad-request" (decode_err "{\"req\":42}");
+  Alcotest.(check string) "unknown tag" "unknown-request"
+    (decode_err "{\"req\":\"frobnicate\"}");
+  Alcotest.(check string) "eco without delta" "bad-request"
+    (decode_err "{\"req\":\"eco\",\"session\":\"s\"}");
+  Alcotest.(check string) "load without session" "bad-request"
+    (decode_err "{\"req\":\"load-design\",\"design_text\":\"x\"}")
+
+let test_response_roundtrip () =
+  let resps =
+    [
+      Ok Protocol.Pong;
+      Ok Protocol.Shutting_down;
+      Protocol.error ~code:"unknown-session" "no session \"x\"";
+      Ok
+        (Protocol.Eco_applied
+           {
+             session = "s";
+             legal = true;
+             path = "local";
+             dirty_bins = 3;
+             total_bins = 64;
+             widenings = 1;
+             fallbacks = 0;
+             grid_reused = true;
+             wall_s = 0.012;
+             placement = Some "cell 1 2 3 0\n";
+           });
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Protocol.response_of_string (Protocol.response_to_string resp) with
+      | Ok resp' -> check "response round-trips" true (resp = resp')
+      | Error e -> Alcotest.fail e)
+    resps
+
+(* ---- request handling on a live server ------------------------------ *)
+
+let sock_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "tdfsrv-%d-%s.sock" (Unix.getpid ()) name)
+
+let with_server ?(max_sessions = 8) name f =
+  let cfg =
+    {
+      (Server.default_cfg ~socket_path:(sock_path name)) with
+      Server.max_sessions;
+    }
+  in
+  let server = Server.create cfg in
+  Fun.protect ~finally:(fun () -> Server.close server) (fun () -> f server cfg)
+
+(* A small legal fixture served as inline text, exactly what a client
+   would send in "design_text"/"placement_text". *)
+let fixture seed =
+  let d = Fixtures.random ~n:40 seed in
+  let p = (Flow3d.legalize d).Flow3d.placement in
+  check "fixture legal" true (Legality.is_legal d p);
+  (d, p)
+
+let load server ~session (d, p) =
+  Server.handle server
+    (Protocol.Load_design
+       {
+         session;
+         design = Protocol.Text (Text.design_to_string d);
+         placement = Some (Protocol.Text (Text.placement_to_string d p));
+       })
+
+let ok_or_fail = function
+  | Ok reply -> reply
+  | Error e -> Alcotest.failf "%s: %s" e.Protocol.code e.Protocol.detail
+
+let err_code = function
+  | Ok _ -> Alcotest.fail "expected an error reply"
+  | Error e -> e.Protocol.code
+
+let test_handle_flows () =
+  with_server "flows" (fun server _cfg ->
+      check "ping" true (Server.handle server Protocol.Ping = Ok Protocol.Pong);
+      (match ok_or_fail (load server ~session:"a" (fixture 11)) with
+      | Protocol.Loaded { n_cells = 40; legal = true; _ } -> ()
+      | _ -> Alcotest.fail "wrong load reply");
+      check "one live session" true (Server.live_sessions server = 1);
+      (* First ECO builds the grid; the second reuses it warm. *)
+      let eco delta =
+        Server.handle server
+          (Protocol.Eco
+             {
+               session = "a";
+               delta = Protocol.Text delta;
+               radius = None;
+               max_widenings = None;
+               budget_ms = None;
+               jobs = None;
+               want_placement = false;
+             })
+      in
+      (match ok_or_fail (eco "move 3 10 10 0\n") with
+      | Protocol.Eco_applied { legal = true; _ } -> ()
+      | _ -> Alcotest.fail "wrong eco reply");
+      (match ok_or_fail (eco "move 7 60 20 1\n") with
+      | Protocol.Eco_applied { legal = true; grid_reused = true; _ } -> ()
+      | Protocol.Eco_applied { grid_reused = false; _ } ->
+        Alcotest.fail "second eco rebuilt the grid"
+      | _ -> Alcotest.fail "wrong eco reply");
+      (* The session's placement is still legal and retrievable. *)
+      (match ok_or_fail (Server.handle server (Protocol.Get_placement { session = "a" })) with
+      | Protocol.Placement_text { placement; _ } ->
+        check "placement text non-empty" true (String.length placement > 0)
+      | _ -> Alcotest.fail "wrong get-placement reply");
+      (* Typed errors leave the server serving. *)
+      Alcotest.(check string) "unknown session" "unknown-session"
+        (err_code
+           (Server.handle server (Protocol.Get_placement { session = "ghost" })));
+      Alcotest.(check string) "bad delta cell" "invalid-delta"
+        (err_code (eco "move 99999 1 1 0\n"));
+      Alcotest.(check string) "delta parse error" "parse-error"
+        (err_code (eco "move 1 2\n"));
+      (match ok_or_fail (Server.handle server Protocol.Stats) with
+      | Protocol.Stats_snapshot _ -> ()
+      | _ -> Alcotest.fail "wrong stats reply");
+      check "still alive after errors" true
+        (Server.handle server Protocol.Ping = Ok Protocol.Pong);
+      (* Shutdown flips [stopping] but still replies. *)
+      check "shutdown reply" true
+        (Server.handle server Protocol.Shutdown = Ok Protocol.Shutting_down);
+      check "stopping" true (Server.stopping server))
+
+(* Satellite 1: the placement text a server reply carries is byte-identical
+   to what the incremental engine produces directly, and every cell the
+   delta did not touch keeps its exact line — the frozen-cell guarantee
+   survives the protocol encode/decode round-trip. *)
+let test_byte_identity () =
+  with_server "bytes" (fun server _cfg ->
+      let d, p = fixture 23 in
+      let before = Text.placement_to_string d p in
+      ignore (ok_or_fail (load server ~session:"s" (d, p)));
+      let delta_text = "move 5 30 25 0\nmove 12 80 15 1\n" in
+      let served =
+        match
+          ok_or_fail
+            (Server.handle server
+               (Protocol.Eco
+                  {
+                    session = "s";
+                    delta = Protocol.Text delta_text;
+                    radius = None;
+                    max_widenings = None;
+                    budget_ms = None;
+                    jobs = None;
+                    want_placement = true;
+                  }))
+        with
+        | Protocol.Eco_applied { placement = Some txt; legal = true; _ } -> txt
+        | Protocol.Eco_applied { placement = None; _ } ->
+          Alcotest.fail "placement:true reply carried no placement"
+        | _ -> Alcotest.fail "wrong eco reply"
+      in
+      (* Same engine, no server in between. *)
+      let sess = Eco.Session.create d (Placement.copy p) in
+      let direct =
+        match Eco.Session.eco sess (Result.get_ok (Delta.read delta_text)) with
+        | Ok r -> Text.placement_to_string r.Eco.design r.Eco.placement
+        | Error e -> Alcotest.fail (Eco.error_to_string e)
+      in
+      Alcotest.(check string) "server text = direct engine text" direct served;
+      (* Frozen cells: every line outside the delta's disturbance must be
+         carried over exactly.  Moved cells (5 and 12) may differ; count
+         how many lines changed at all and require the overwhelming
+         majority frozen byte-for-byte. *)
+      let lines s = String.split_on_char '\n' s in
+      let before_l = lines before and after_l = lines served in
+      check "same line count" true (List.length before_l = List.length after_l);
+      let changed =
+        List.fold_left2
+          (fun n a b -> if a = b then n else n + 1)
+          0 before_l after_l
+      in
+      check "a real change happened" true (changed > 0);
+      check "far cells frozen byte-for-byte" true (changed <= 12);
+      (* And the served text round-trips through the parser unchanged. *)
+      match Text.read_placement d served with
+      | Ok p' ->
+        Alcotest.(check string) "decode/encode stable" served
+          (Text.placement_to_string d p')
+      | Error e -> Alcotest.fail e)
+
+let test_lru_eviction () =
+  with_server ~max_sessions:2 "lru" (fun server _cfg ->
+      let fx = fixture 31 in
+      ignore (ok_or_fail (load server ~session:"a" fx));
+      ignore (ok_or_fail (load server ~session:"b" fx));
+      (* Touch "a" so "b" is the LRU victim when "c" arrives. *)
+      ignore (ok_or_fail (Server.handle server (Protocol.Get_placement { session = "a" })));
+      ignore (ok_or_fail (load server ~session:"c" fx));
+      check "capacity respected" true (Server.live_sessions server = 2);
+      Alcotest.(check string) "LRU victim evicted" "unknown-session"
+        (err_code (Server.handle server (Protocol.Get_placement { session = "b" })));
+      (match Server.handle server (Protocol.Get_placement { session = "a" }) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "recently-used session evicted: %s" e.Protocol.detail);
+      (* Reloading an existing id replaces in place, no eviction. *)
+      ignore (ok_or_fail (load server ~session:"c" fx));
+      check "replace is not eviction" true (Server.live_sessions server = 2))
+
+(* Satellite 3: kill a request mid-execution via the "serve.request"
+   failpoint — typed "injected" error reply, warm cache untouched, server
+   keeps serving. *)
+let test_failpoint_kill () =
+  with_server "failpoint" (fun server _cfg ->
+      ignore (ok_or_fail (load server ~session:"s" (fixture 41)));
+      let eco () =
+        Server.handle server
+          (Protocol.Eco
+             {
+               session = "s";
+               delta = Protocol.Text "move 2 15 15 0\n";
+               radius = None;
+               max_widenings = None;
+               budget_ms = None;
+               jobs = None;
+               want_placement = false;
+             })
+      in
+      Failpoint.reset ();
+      Failpoint.arm "serve.request";
+      Alcotest.(check string) "killed mid-request" "injected" (err_code (eco ()));
+      check "charge consumed" true (Failpoint.fired "serve.request" = 1);
+      (* The session survived the injected death and still serves. *)
+      check "session intact" true (Server.live_sessions server = 1);
+      (match ok_or_fail (eco ()) with
+      | Protocol.Eco_applied { legal = true; _ } -> ()
+      | _ -> Alcotest.fail "server did not recover after injection");
+      Failpoint.reset ())
+
+(* ---- socket end-to-end ---------------------------------------------- *)
+
+(* Single-process client: nonblocking fd driven in lockstep with
+   [Server.step].  Forking would hang under TDFLOW_JOBS>1 (live worker
+   domains don't survive fork), so the loop is stepped explicitly. *)
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.set_nonblock fd;
+  fd
+
+let send fd payload =
+  let s = Frame.encode payload in
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    match Unix.write fd b !off (Bytes.length b - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ fd ] [] 0.1)
+  done
+
+(* Pump the server until the client fd yields one frame (or EOF → None). *)
+let recv server fd dec =
+  let buf = Bytes.create 4096 in
+  let deadline = 500 in
+  let rec loop n =
+    if n > deadline then Alcotest.fail "no reply within stepping budget"
+    else
+      match Frame.next dec with
+      | Ok (Some payload) -> Some payload
+      | Error e -> Alcotest.fail (Frame.error_to_string e)
+      | Ok None -> (
+        ignore (Server.step ~timeout_ms:10 server);
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> None
+        | got ->
+          Frame.feed dec (Bytes.sub_string buf 0 got);
+          loop (n + 1)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          loop (n + 1))
+  in
+  loop 0
+
+let call server fd dec req =
+  send fd (Protocol.request_to_string req);
+  match recv server fd dec with
+  | None -> Alcotest.fail "server closed the connection"
+  | Some payload -> (
+    match Protocol.response_of_string payload with
+    | Ok resp -> resp
+    | Error e -> Alcotest.failf "unparseable response: %s" e)
+
+let test_socket_end_to_end () =
+  with_server "e2e" (fun server cfg ->
+      let d, p = fixture 53 in
+      let fd = connect cfg.Server.socket_path in
+      let dec = Frame.decoder () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          check "wire ping" true (call server fd dec Protocol.Ping = Ok Protocol.Pong);
+          (match
+             ok_or_fail
+               (call server fd dec
+                  (Protocol.Load_design
+                     {
+                       session = "wire";
+                       design = Protocol.Text (Text.design_to_string d);
+                       placement = Some (Protocol.Text (Text.placement_to_string d p));
+                     }))
+           with
+          | Protocol.Loaded { n_cells = 40; _ } -> ()
+          | _ -> Alcotest.fail "wrong load reply");
+          (match
+             ok_or_fail
+               (call server fd dec
+                  (Protocol.Eco
+                     {
+                       session = "wire";
+                       delta = Protocol.Text "move 9 45 30 1\n";
+                       radius = None;
+                       max_widenings = None;
+                       budget_ms = None;
+                       jobs = None;
+                       want_placement = true;
+                     }))
+           with
+          | Protocol.Eco_applied { legal = true; placement = Some _; _ } -> ()
+          | _ -> Alcotest.fail "wrong eco reply");
+          check "wire shutdown" true
+            (call server fd dec Protocol.Shutdown = Ok Protocol.Shutting_down);
+          check "loop stops after shutdown" true (not (Server.step server));
+          Server.close server;
+          check "socket unlinked" true (not (Sys.file_exists cfg.Server.socket_path)))
+      )
+
+let test_socket_bad_frame () =
+  with_server "badframe" (fun server cfg ->
+      let fd = connect cfg.Server.socket_path in
+      let dec = Frame.decoder () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Garbage prefix: the server must reply once with "bad-frame"
+             and then close the connection — framing is unrecoverable. *)
+          let b = Bytes.of_string "garbage without a length\n" in
+          ignore (Unix.write fd b 0 (Bytes.length b));
+          (match recv server fd dec with
+          | Some payload -> (
+            match Protocol.response_of_string payload with
+            | Ok (Error e) ->
+              Alcotest.(check string) "typed framing error" "bad-frame"
+                e.Protocol.code
+            | Ok (Ok _) -> Alcotest.fail "garbage produced a success reply"
+            | Error e -> Alcotest.failf "unparseable response: %s" e)
+          | None -> Alcotest.fail "connection closed without a bad-frame reply");
+          (* Then EOF. *)
+          match recv server fd dec with
+          | None -> ()
+          | Some _ -> Alcotest.fail "connection survived a framing loss"))
+
+let suite =
+  [
+    Alcotest.test_case "frame round-trip (bulk and byte-at-a-time)" `Quick
+      test_frame_roundtrip;
+    Alcotest.test_case "truncated frames need more bytes" `Quick
+      test_frame_truncated;
+    Alcotest.test_case "oversized length prefix poisons the decoder" `Quick
+      test_frame_oversized;
+    Alcotest.test_case "bad prefix / bad terminator" `Quick
+      test_frame_bad_prefix_and_terminator;
+    Alcotest.test_case "request JSON round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "malformed requests get typed codes" `Quick
+      test_request_decode_errors;
+    Alcotest.test_case "response JSON round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "handle: load/eco/get-placement/stats/shutdown" `Quick
+      test_handle_flows;
+    Alcotest.test_case "byte-identity: wire placement = engine placement" `Quick
+      test_byte_identity;
+    Alcotest.test_case "LRU eviction honors max_sessions" `Quick
+      test_lru_eviction;
+    Alcotest.test_case "failpoint kills a request, cache survives" `Quick
+      test_failpoint_kill;
+    Alcotest.test_case "socket end-to-end via stepped event loop" `Quick
+      test_socket_end_to_end;
+    Alcotest.test_case "framing loss: one bad-frame reply, then close" `Quick
+      test_socket_bad_frame;
+  ]

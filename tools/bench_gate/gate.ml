@@ -1,6 +1,6 @@
 module Json = Tdf_telemetry.Json
 
-type kind = Time | Exact | Bound
+type kind = Time | Exact | Bound | Floor
 
 type check = {
   metric : string;
@@ -67,6 +67,28 @@ let solver_probes =
     };
   ]
 
+let serve_probes =
+  [
+    {
+      p_name = "legal";
+      p_kind = Exact;
+      p_read = (fun j -> if bool_field "legal" j then 1. else 0.);
+    };
+    {
+      p_name = "byte_identical";
+      p_kind = Exact;
+      p_read = (fun j -> if bool_field "byte_identical" j then 1. else 0.);
+    };
+    { p_name = "warm_p50_ms"; p_kind = Time;
+      p_read = (fun j -> float_field "warm_p50_ms" j /. 1000.) };
+    { p_name = "warm_p99_ms"; p_kind = Time;
+      p_read = (fun j -> float_field "warm_p99_ms" j /. 1000.) };
+    { p_name = "speedup_p50"; p_kind = Floor;
+      p_read = float_field "speedup_p50" };
+    { p_name = "cache_hit_rate"; p_kind = Floor;
+      p_read = float_field "cache_hit_rate" };
+  ]
+
 let eco_probes =
   [
     {
@@ -92,6 +114,10 @@ let judge ~max_regression ~inject_slowdown ~prefix probes base cur =
         match p.p_kind with
         | Exact -> b = c
         | Bound -> c <= b
+        | Floor ->
+          (* The baseline records a pinned minimum (e.g. a required
+             speedup), not a measurement: current must stay above it. *)
+          c >= b
         | Time ->
           (* A sub-resolution baseline cannot anchor a ratio: hold the
              current value to the same absolute floor instead. *)
@@ -132,8 +158,12 @@ let compare_json ?(max_regression = 1.25) ?(inject_slowdown = 1.0) ~baseline
   try
     let shape j =
       if Json.member "cases" j <> None then `Solver
+      else if Json.member "serve_runs" j <> None then `Serve
       else if Json.member "runs" j <> None then `Eco
-      else fail "unrecognized benchmark file (no \"cases\" or \"runs\" field)"
+      else
+        fail
+          "unrecognized benchmark file (no \"cases\", \"runs\" or \
+           \"serve_runs\" field)"
     in
     let sb = shape baseline and sc = shape current in
     if sb <> sc then fail "baseline and current are different benchmark kinds";
@@ -141,6 +171,7 @@ let compare_json ?(max_regression = 1.25) ?(inject_slowdown = 1.0) ~baseline
       match sb with
       | `Solver -> ("solver", `Str "name", solver_probes, "cases")
       | `Eco -> ("eco", `Int "delta_cells", eco_probes, "runs")
+      | `Serve -> ("serve", `Str "name", serve_probes, "serve_runs")
     in
     let index_of j =
       let cases = list_field list_name j in
@@ -176,7 +207,11 @@ let compare_files ?max_regression ?inject_slowdown ~baseline ~current () =
   | Ok b, Ok c ->
     compare_json ?max_regression ?inject_slowdown ~baseline:b ~current:c ()
 
-let kind_name = function Time -> "time" | Exact -> "exact" | Bound -> "bound"
+let kind_name = function
+  | Time -> "time"
+  | Exact -> "exact"
+  | Bound -> "bound"
+  | Floor -> "floor"
 
 let render v =
   let buf = Buffer.create 512 in

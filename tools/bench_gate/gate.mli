@@ -2,7 +2,7 @@
     against a checked-in baseline and fail on wall-clock regressions or
     numeric drift.
 
-    Two file shapes are understood (detected from the content):
+    Three file shapes are understood (detected from the content):
 
     - {b solver} ([BENCH_solver.json]): per case, [flow]/[cost] must match
       the baseline {e exactly} — drift means the solver's arithmetic
@@ -10,7 +10,12 @@
       at most the regression factor;
     - {b eco} ([BENCH_eco.json]): per delta size, the result must be
       [legal] with no more [fallbacks] than the baseline, and [eco_s] may
-      grow by at most the regression factor.
+      grow by at most the regression factor;
+    - {b serve} ([BENCH_serve.json]): the warm-daemon replay must be
+      [legal] and [byte_identical] to the one-shot CLI chain, its
+      [warm_p50_ms]/[warm_p99_ms] latencies may grow by at most the
+      regression factor, and [speedup_p50]/[cache_hit_rate] must stay
+      {e above} the floors pinned in the baseline file.
 
     Cases present in only one of the files are reported but not fatal
     (benchmarks gain cases over time); a baseline/current pair with {e no}
@@ -25,6 +30,7 @@ type kind =
   | Time  (** current ≤ limit × baseline *)
   | Exact  (** current = baseline *)
   | Bound  (** current ≤ baseline *)
+  | Floor  (** current ≥ baseline (the baseline pins a required minimum) *)
 
 type check = {
   metric : string;  (** e.g. ["solver/small/flow"] *)
