@@ -613,8 +613,6 @@ let run_serve_bench () =
      is not left sticky because pool overhead would drown the latency
      numbers on dirty regions this small. *)
   let sock = file "sock" in
-  let server_pid = spawn exe [ "serve"; "--socket"; sock ] in
-  let client = connect_with_retry sock in
   let reqs =
     Protocol.Load_design
       {
@@ -639,42 +637,75 @@ let run_serve_bench () =
              })
          deltas
   in
-  let summary = Client.Trace.replay client reqs in
-  let stats_reply = Client.call client Protocol.Stats in
-  ignore (Client.call client Protocol.Shutdown);
-  Client.close client;
-  let server_exit = wait_exit server_pid in
-  if server_exit <> 0 then begin
-    Printf.eprintf "SERVE BENCH: daemon exited with %d\n" server_exit;
-    exit 1
-  end;
-  let ecos =
-    List.filter
+  let run_stream ?(extra = []) label =
+    let server_pid = spawn exe ([ "serve"; "--socket"; sock ] @ extra) in
+    let client = connect_with_retry sock in
+    let summary = Client.Trace.replay client reqs in
+    let stats_reply = Client.call client Protocol.Stats in
+    ignore (Client.call client Protocol.Shutdown);
+    Client.close client;
+    let server_exit = wait_exit server_pid in
+    if server_exit <> 0 then begin
+      Printf.eprintf "SERVE BENCH: %s daemon exited with %d\n" label
+        server_exit;
+      exit 1
+    end;
+    (summary, stats_reply)
+  in
+  let eco_stats (summary : Client.Trace.summary) =
+    let ecos =
+      List.filter
+        (fun (o : Client.Trace.outcome) ->
+          match o.request with Protocol.Eco _ -> true | _ -> false)
+        summary.Client.Trace.outcomes
+    in
+    let lat =
+      Array.of_list
+        (List.map (fun (o : Client.Trace.outcome) -> o.wall_s *. 1000.) ecos)
+    in
+    let legal = ref true and reused = ref 0 and placements = ref [] in
+    List.iter
       (fun (o : Client.Trace.outcome) ->
-        match o.request with Protocol.Eco _ -> true | _ -> false)
-      summary.Client.Trace.outcomes
+        match o.response with
+        | Ok (Protocol.Eco_applied r) ->
+          if not r.legal then legal := false;
+          if r.grid_reused then incr reused;
+          Option.iter (fun p -> placements := p :: !placements) r.placement
+        | Ok _ -> ()
+        | Error e ->
+          Printf.eprintf "SERVE BENCH: eco error %s: %s\n" e.Protocol.code
+            e.Protocol.detail;
+          legal := false)
+      ecos;
+    (ecos, lat, !legal, !reused, List.rev !placements)
   in
-  let warm_lat =
-    Array.of_list (List.map (fun (o : Client.Trace.outcome) -> o.wall_s *. 1000.) ecos)
+  let summary, stats_reply = run_stream "warm" in
+  let ecos, warm_lat, warm_legal, reused, warm_placements = eco_stats summary in
+  let legal = ref warm_legal in
+  let cache_hit_rate = float_of_int reused /. float_of_int (List.length ecos) in
+  (* Journaled rerun: the identical trace with durability on at the
+     default fsync policy.  The journal must not change a single placement
+     byte, and its p50 latency overhead is recorded for the bench gate
+     (journal_overhead_p50). *)
+  let jdir = file "journal" in
+  (* A previous bench run's journal would make startup recover a stale
+     session and pollute the recovery counters: start from scratch. *)
+  if Sys.file_exists jdir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat jdir f))
+      (Sys.readdir jdir);
+  let j_summary, j_stats_reply =
+    run_stream ~extra:[ "--journal"; jdir ] "journaled"
   in
-  let legal = ref true and reused = ref 0 and warm_placements = ref [] in
-  List.iter
-    (fun (o : Client.Trace.outcome) ->
-      match o.response with
-      | Ok (Protocol.Eco_applied r) ->
-        if not r.legal then legal := false;
-        if r.grid_reused then incr reused;
-        Option.iter
-          (fun p -> warm_placements := p :: !warm_placements)
-          r.placement
-      | Ok _ -> ()
-      | Error e ->
-        Printf.eprintf "SERVE BENCH: eco error %s: %s\n" e.Protocol.code
-          e.Protocol.detail;
-        legal := false)
-    ecos;
-  let warm_placements = List.rev !warm_placements in
-  let cache_hit_rate = float_of_int !reused /. float_of_int (List.length ecos) in
+  let _, journal_lat, j_legal, _, j_placements = eco_stats j_summary in
+  if not j_legal then legal := false;
+  let journal_identical =
+    List.length j_placements = List.length warm_placements
+    && List.for_all2 String.equal warm_placements j_placements
+  in
+  if not journal_identical then
+    Printf.eprintf
+      "SERVE BENCH: journaled stream produced different placement bytes\n";
   (* Cold baseline: the same first deltas as fresh `legalize eco` process
      invocations, files carried forward (moves shift gp anchors, so each
      step needs the previous step's perturbed design). *)
@@ -711,19 +742,25 @@ let run_serve_bench () =
     warm_placements;
   let pct = Tdf_util.Stats.percentile in
   let warm_p50 = pct warm_lat 50. and warm_p99 = pct warm_lat 99. in
+  let journal_p50 = pct journal_lat 50. in
+  let journal_overhead_p50 = journal_p50 /. warm_p50 in
   let cold_p50 = pct cold_lat 50. in
   let speedup_p50 = cold_p50 /. warm_p50 in
   Printf.printf
     "  warm: %d ecos, p50 %.2f ms, p99 %.2f ms, grid reuse %.1f%%\n"
     (List.length ecos) warm_p50 warm_p99 (100. *. cache_hit_rate);
+  Printf.printf
+    "  journaled: p50 %.2f ms (%.2fx of unjournaled), byte-identical %b\n"
+    journal_p50 journal_overhead_p50 journal_identical;
   Printf.printf "  cold: %d process chains, p50 %.2f ms\n" n_cold cold_p50;
   Printf.printf "  speedup p50 %.1fx, legal %b, byte-identical %b\n%!"
     speedup_p50 !legal !byte_identical;
-  let server_stats =
-    match stats_reply with
+  let stats_of = function
     | Ok (Protocol.Stats_snapshot j) -> j
     | _ -> Json.Null
   in
+  let server_stats = stats_of stats_reply in
+  let journaled_server_stats = stats_of j_stats_reply in
   let json =
     Json.Obj
       [
@@ -746,9 +783,13 @@ let run_serve_bench () =
                   ("cold_p50_ms", Json.Float cold_p50);
                   ("speedup_p50", Json.Float speedup_p50);
                   ("cache_hit_rate", Json.Float cache_hit_rate);
+                  ("journal_p50_ms", Json.Float journal_p50);
+                  ("journal_overhead_p50", Json.Float journal_overhead_p50);
+                  ("journal_byte_identical", Json.Bool journal_identical);
                 ];
             ] );
         ("server_stats", server_stats);
+        ("journaled_server_stats", journaled_server_stats);
       ]
   in
   let path = out_path "BENCH_serve.json" in
@@ -757,7 +798,7 @@ let run_serve_bench () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "Serve benchmark written to %s\n" path;
-  if not (!legal && !byte_identical) then begin
+  if not (!legal && !byte_identical && journal_identical) then begin
     Printf.eprintf "SERVE BENCH: correctness check failed\n";
     exit 1
   end;

@@ -745,17 +745,122 @@ let serve_cmd =
           ~doc:"Default wall-clock budget applied to requests that carry \
                 none of their own.")
   in
-  let run () socket max_sessions max_frame budget_ms tele =
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:"Enable durability: write-ahead journal and session \
+                snapshots in $(docv); on restart the daemon recovers its \
+                sessions from there.")
+  in
+  let fsync =
+    Arg.(
+      value & opt string "every:8"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:"Journal fsync policy: $(b,always) (no acknowledged \
+                record lost), $(b,every:N) (bounded loss window, \
+                amortized cost), or $(b,never).")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 64
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Journal records between automatic snapshot+compact \
+                cycles.")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Bound on requests queued for execution across all \
+                connections; beyond it requests are shed with a typed \
+                overloaded reply.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 0.
+      & info [ "idle-timeout-s" ] ~docv:"SECONDS"
+          ~doc:"Reap connections idle longer than $(docv) (0 disables).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Hard cap applied to every request budget, explicit or \
+                defaulted, so no request can hold the event loop past \
+                the cap.")
+  in
+  let arm_failpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "arm-failpoint" ] ~docv:"SITE[:TIMES[:AFTER]]"
+          ~doc:"Testing hook: arm a named failpoint (e.g. \
+                $(b,journal.append:1:3) tears the 4th journal write and \
+                kills the daemon — the chaos harness uses this).")
+  in
+  let parse_arm spec =
+    let int_field what s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | _ -> failwith (Printf.sprintf "bad --arm-failpoint %s %S" what s)
+    in
+    match String.split_on_char ':' spec with
+    | [ site ] -> Tdf_util.Failpoint.arm site
+    | [ site; times ] ->
+      Tdf_util.Failpoint.arm ~times:(int_field "times" times) site
+    | [ site; times; after ] ->
+      Tdf_util.Failpoint.arm
+        ~times:(int_field "times" times)
+        ~after:(int_field "after" after) site
+    | _ -> failwith ("bad --arm-failpoint spec " ^ spec)
+  in
+  let run () socket max_sessions max_frame budget_ms journal_dir fsync
+      snapshot_every max_pending idle_timeout deadline_ms arm_failpoint tele =
     with_telemetry tele @@ fun () ->
+    Option.iter parse_arm arm_failpoint;
+    let journal =
+      Option.map
+        (fun dir ->
+          match Tdf_io.Journal.fsync_policy_of_string fsync with
+          | Error e -> failwith e
+          | Ok policy ->
+            { (Tdf_io.Journal.default_cfg ~dir) with Tdf_io.Journal.fsync = policy })
+        journal_dir
+    in
     let cfg =
       {
         (Tdf_server.Server.default_cfg ~socket_path:socket) with
         Tdf_server.Server.max_sessions;
         max_frame;
         default_budget_ms = budget_ms;
+        journal;
+        snapshot_every;
+        max_pending;
+        idle_timeout_s = idle_timeout;
+        deadline_ms;
       }
     in
     let server = Tdf_server.Server.create cfg in
+    (match Tdf_server.Server.recovery server with
+    | Some r
+      when r.Tdf_server.Server.recovered_sessions > 0
+           || r.Tdf_server.Server.replayed_records > 0
+           || r.Tdf_server.Server.truncated_bytes > 0
+           || r.Tdf_server.Server.dropped_snapshots > 0 ->
+      (* The torn-byte count is part of the printed contract: the chaos
+         harness greps it to prove a mid-append kill was healed. *)
+      Printf.printf
+        "tdflow serve: recovered %d sessions (%d records replayed, %d torn \
+         bytes truncated, %d snapshots dropped)\n\
+         %!"
+        r.Tdf_server.Server.recovered_sessions
+        r.Tdf_server.Server.replayed_records
+        r.Tdf_server.Server.truncated_bytes
+        r.Tdf_server.Server.dropped_snapshots
+    | _ -> ());
     let stop = ref false in
     let quit _ = stop := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
@@ -764,6 +869,11 @@ let serve_cmd =
     while (not !stop) && Tdf_server.Server.step server do
       ()
     done;
+    (* SIGTERM/SIGINT path: answer what is queued and write a final
+       snapshot before tearing anything down. *)
+    Tdf_server.Server.drain server;
+    if journal <> None then
+      Printf.printf "tdflow serve: drained; final snapshot written\n%!";
     let live = Tdf_server.Server.live_sessions server in
     Tdf_server.Server.close server;
     (* The session count is part of the printed contract: CI greps it to
@@ -776,10 +886,13 @@ let serve_cmd =
          "Run the persistent legalization daemon: load designs into named \
           sessions over a Unix-domain socket and stream legalize/ECO \
           requests against the warm state (see lib/io/protocol.mli for \
-          the wire grammar).")
+          the wire grammar).  With $(b,--journal) the daemon survives \
+          crashes: every mutating request is journaled before its reply \
+          and replayed on restart.")
     Term.(
       const run $ jobs_term $ socket_arg $ max_sessions $ max_frame
-      $ budget_ms $ telemetry_term)
+      $ budget_ms $ journal_dir $ fsync $ snapshot_every $ max_pending
+      $ idle_timeout $ deadline_ms $ arm_failpoint $ telemetry_term)
 
 (* ---- client -------------------------------------------------------- *)
 
@@ -813,7 +926,21 @@ let client_cmd =
       value & flag
       & info [ "v"; "verbose" ] ~doc:"Print one line per request replayed.")
   in
-  let run socket trace_path out_json require_legal verbose =
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget for transient failures: refused connects, \
+                dropped connections (daemon restarting) and overloaded \
+                replies (0 fails fast).")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt int 50
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base retry delay; doubles per attempt, capped at 64x.")
+  in
+  let run socket trace_path out_json require_legal verbose retries backoff_ms =
     let reqs =
       match Tdf_server.Client.Trace.load trace_path with
       | Ok reqs -> reqs
@@ -821,7 +948,7 @@ let client_cmd =
         Printf.eprintf "legalize: %s\n" e;
         exit 2
     in
-    let client = Tdf_server.Client.connect socket in
+    let client = Tdf_server.Client.connect ~retries ~backoff_ms socket in
     let summary = Tdf_server.Client.Trace.replay client reqs in
     Tdf_server.Client.close client;
     let illegal = ref 0 in
@@ -845,12 +972,13 @@ let client_cmd =
           Printf.printf "%-13s %8.2f ms  %s\n" kind (o.wall_s *. 1000.) status)
       summary.Tdf_server.Client.Trace.outcomes;
     Printf.printf
-      "replayed %d requests in %.2fs: %d ok, %d errors, p50 %.2f ms, p99 \
-       %.2f ms\n"
+      "replayed %d requests in %.2fs: %d ok, %d errors, %d retries, p50 \
+       %.2f ms, p99 %.2f ms\n"
       (List.length summary.Tdf_server.Client.Trace.outcomes)
       summary.Tdf_server.Client.Trace.total_s
       summary.Tdf_server.Client.Trace.ok
       summary.Tdf_server.Client.Trace.errors
+      summary.Tdf_server.Client.Trace.retries
       summary.Tdf_server.Client.Trace.p50_ms
       summary.Tdf_server.Client.Trace.p99_ms;
     Option.iter
@@ -875,7 +1003,9 @@ let client_cmd =
        ~doc:
          "Replay a recorded request trace against a running $(b,serve) \
           daemon and summarize the latency distribution.")
-    Term.(const run $ socket_arg $ trace $ out_json $ require_legal $ verbose)
+    Term.(
+      const run $ socket_arg $ trace $ out_json $ require_legal $ verbose
+      $ retries $ backoff_ms)
 
 (* ---- version ------------------------------------------------------- *)
 
@@ -899,6 +1029,10 @@ let () =
            [ gen_cmd; run_cmd; check_cmd; compare_cmd; tables_cmd; viz_cmd;
              place_cmd; eco_cmd; serve_cmd; client_cmd; version_cmd ])
     with
+    | Tdf_server.Server.Recovery_error e ->
+      Printf.eprintf "legalize: recovery failed: %s\n"
+        (Tdf_server.Server.recovery_error_to_string e);
+      1
     | Unix.Unix_error (e, fn, arg) ->
       Printf.eprintf "legalize: %s: %s%s\n" fn (Unix.error_message e)
         (if arg = "" then "" else " (" ^ arg ^ ")");

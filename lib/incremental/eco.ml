@@ -355,4 +355,19 @@ module Session = struct
       Ok r
 
   let grid_reused_last t = t.cache.reused_last
+
+  let state_digest t =
+    let module Crc32 = Tdf_util.Crc32 in
+    let p = t.placement in
+    let buf = Bytes.create 8 in
+    let put st v =
+      Bytes.set_int64_le buf 0 (Int64.of_int v);
+      Crc32.update_bytes st buf
+    in
+    let fold = Array.fold_left put in
+    let st = put Crc32.empty (Placement.n_cells p) in
+    let st = fold st p.Placement.x in
+    let st = fold st p.Placement.y in
+    let st = fold st p.Placement.die in
+    Crc32.to_hex (Crc32.value st)
 end

@@ -132,4 +132,12 @@ module Session : sig
 
   val grid_reused_last : t -> bool
   (** Whether the most recent run (successful or not) reused the grid. *)
+
+  val state_digest : t -> string
+  (** Cheap fingerprint (CRC-32 over the cell count and the x/y/die
+      coordinate arrays, as 8 hex digits) of the session's current
+      placement.  The serving layer journals it with every mutating
+      request and asserts that crash-recovery replay reproduces it —
+      any divergence is surfaced as a typed startup error rather than
+      silently serving drifted state. *)
 end

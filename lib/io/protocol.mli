@@ -63,7 +63,9 @@ type err = { code : string; detail : string }
 (** Stable codes include: ["bad-json"], ["bad-request"],
     ["unknown-request"], ["unknown-session"], ["parse-error"],
     ["invalid-delta"], ["eco-failed"], ["legalize-failed"],
-    ["freeze-drift"], ["not-legal"], ["injected"], ["internal"]. *)
+    ["freeze-drift"], ["not-legal"], ["injected"], ["internal"],
+    ["overloaded"] (request shed before execution by the server's
+    pending-queue bound; safe to retry after a backoff). *)
 
 type reply =
   | Loaded of { session : string; n_cells : int; n_nets : int; legal : bool }

@@ -4,24 +4,70 @@ module Json = Tdf_telemetry.Json
 module Timer = Tdf_util.Timer
 module Stats = Tdf_util.Stats
 
-type t = { fd : Unix.file_descr; dec : Frame.decoder; buf : Bytes.t }
+type t = {
+  path : string;
+  max_frame : int option;
+  retries : int;
+  backoff_ms : int;
+  mutable fd : Unix.file_descr;
+  mutable dec : Frame.decoder;
+  buf : Bytes.t;
+  mutable retries_used : int;
+}
 
-let connect ?max_frame path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e ->
-     Unix.close fd;
-     raise e);
-  { fd; dec = Frame.decoder ?max_frame (); buf = Bytes.create 65536 }
+let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+
+(* Exponential backoff, capped at 64x the base so a long retry budget
+   does not turn into multi-minute sleeps. *)
+let backoff_delay ~backoff_ms attempt = backoff_ms * (1 lsl min attempt 6)
+
+(* Connect, retrying a refused/absent socket up to [retries] times with
+   exponential backoff — a daemon mid-restart (crash recovery, deploy)
+   comes back on the same path. *)
+let connect_fd ~retries ~backoff_ms path =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception (Unix.Unix_error _ as e) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if attempt >= retries then raise e;
+      sleep_ms (backoff_delay ~backoff_ms attempt);
+      go (attempt + 1)
+  in
+  go 0
+
+let connect ?max_frame ?(retries = 0) ?(backoff_ms = 50) path =
+  let fd = connect_fd ~retries ~backoff_ms path in
+  {
+    path;
+    max_frame;
+    retries;
+    backoff_ms;
+    fd;
+    dec = Frame.decoder ?max_frame ();
+    buf = Bytes.create 65536;
+    retries_used = 0;
+  }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let write_all fd s =
+let retries_used t = t.retries_used
+
+(* The connection died under us — retryable (unlike framing loss, which
+   means the surviving byte stream itself is unintelligible). *)
+exception Conn_lost of string
+
+let write_all t s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
+    match Unix.write t.fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      raise (Conn_lost ("write: " ^ Unix.error_message e))
   done
 
 let rec read_frame t =
@@ -30,17 +76,55 @@ let rec read_frame t =
   | Ok (Some payload) -> payload
   | Ok None -> (
     match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
-    | 0 -> failwith "server closed the connection mid-reply"
+    | 0 -> raise (Conn_lost "server closed the connection mid-reply")
     | n ->
       Frame.feed t.dec (Bytes.sub_string t.buf 0 n);
       read_frame t
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_frame t)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_frame t
+    | exception Unix.Unix_error (e, _, _) ->
+      raise (Conn_lost ("read: " ^ Unix.error_message e)))
+
+let reconnect t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.fd <- connect_fd ~retries:(max 1 t.retries) ~backoff_ms:t.backoff_ms t.path;
+  t.dec <- Frame.decoder ?max_frame:t.max_frame ()
 
 let call t req =
-  write_all t.fd (Frame.encode (Protocol.request_to_string req));
-  match Protocol.response_of_string (read_frame t) with
-  | Ok resp -> resp
-  | Error msg -> failwith ("unintelligible server reply: " ^ msg)
+  let payload = Frame.encode (Protocol.request_to_string req) in
+  let rec attempt n =
+    let outcome =
+      try
+        write_all t payload;
+        match Protocol.response_of_string (read_frame t) with
+        | Ok resp -> Ok resp
+        | Error msg -> failwith ("unintelligible server reply: " ^ msg)
+      with Conn_lost msg -> Error msg
+    in
+    match outcome with
+    | Ok (Error { Protocol.code = "overloaded"; _ }) when n < t.retries ->
+      (* Shed before execution — re-sending is always safe. *)
+      t.retries_used <- t.retries_used + 1;
+      sleep_ms (backoff_delay ~backoff_ms:t.backoff_ms n);
+      attempt (n + 1)
+    | Ok resp -> resp
+    | Error msg ->
+      if n >= t.retries then failwith msg
+      else begin
+        (* The daemon may be restarting (crash recovery); reconnect and
+           re-send.  Safe under the daemon's journaling contract: a
+           request whose reply never arrived was either never received
+           or died before its journal record completed — unapplied
+           either way. *)
+        t.retries_used <- t.retries_used + 1;
+        sleep_ms (backoff_delay ~backoff_ms:t.backoff_ms n);
+        (match reconnect t with
+        | () -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+          failwith (msg ^ "; reconnect failed: " ^ Unix.error_message e));
+        attempt (n + 1)
+      end
+  in
+  attempt 0
 
 let call_timed t req = Timer.time (fun () -> call t req)
 
@@ -88,12 +172,14 @@ module Trace = struct
     total_s : float;
     ok : int;
     errors : int;
+    retries : int;
     p50_ms : float;
     p99_ms : float;
     max_ms : float;
   }
 
   let replay t reqs =
+    let retries_before = t.retries_used in
     let outcomes, total_s =
       Timer.time (fun () ->
           List.map
@@ -116,6 +202,7 @@ module Trace = struct
       total_s;
       ok;
       errors;
+      retries = t.retries_used - retries_before;
       p50_ms = Stats.percentile lat 50.;
       p99_ms = Stats.percentile lat 99.;
       max_ms = Stats.max_value lat;
@@ -127,6 +214,7 @@ module Trace = struct
         ("requests", Json.Int (List.length s.outcomes));
         ("ok", Json.Int s.ok);
         ("errors", Json.Int s.errors);
+        ("retries", Json.Int s.retries);
         ("total_s", Json.Float s.total_s);
         ("p50_ms", Json.Float s.p50_ms);
         ("p99_ms", Json.Float s.p99_ms);

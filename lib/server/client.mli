@@ -5,20 +5,46 @@
     the wire encoding of {!Tdf_io.Protocol.request_to_string} — so a
     recorded session can be replayed verbatim against a live server
     ([tdflow client --trace]) and its latency distribution summarized for
-    the serve benchmark. *)
+    the serve benchmark.
+
+    {2 Resilience}
+
+    With [retries > 0] the client rides through two transient failure
+    modes with bounded exponential backoff ([backoff_ms] base, doubling
+    per attempt, capped at 64x):
+
+    - {b connect/reconnect failures} — a daemon mid-restart (crash
+      recovery, deploy) comes back on the same socket path, so a refused
+      connect is retried, and a connection that dies mid-call is
+      re-established and the request re-sent.  Re-sending is safe under
+      the daemon's journaling contract: a request whose reply never
+      arrived was either never received or crashed before its journal
+      record completed, so it was not applied.
+    - {b ["overloaded"] replies} — the server shed the request before
+      executing it; re-sending after a backoff is always safe.
+
+    Retries performed are surfaced via {!retries_used} and in the replay
+    {!Trace.summary}. *)
 
 type t
 
-val connect : ?max_frame:int -> string -> t
-(** Connect to the Unix-domain socket at this path.  Raises
-    [Unix.Unix_error] when nothing is listening. *)
+val connect : ?max_frame:int -> ?retries:int -> ?backoff_ms:int -> string -> t
+(** Connect to the Unix-domain socket at this path, retrying a failed
+    connect up to [retries] times (default 0: fail fast) with
+    [backoff_ms] (default 50) exponential backoff.  Raises
+    [Unix.Unix_error] when the attempts are exhausted. *)
 
 val close : t -> unit
 
+val retries_used : t -> int
+(** Total reconnect/retry attempts performed over the connection's
+    lifetime (0 when [retries] was never needed or never allowed). *)
+
 val call : t -> Tdf_io.Protocol.request -> Tdf_io.Protocol.response
-(** Send one request and block for its reply.  Raises [Failure] when the
-    connection drops or the server's reply stream is unintelligible —
-    client-side framing loss is not recoverable. *)
+(** Send one request and block for its reply, retrying per the
+    connection's retry budget.  Raises [Failure] when the budget is
+    exhausted, or immediately when the server's reply stream is
+    unintelligible — client-side framing loss is not recoverable. *)
 
 val call_timed : t -> Tdf_io.Protocol.request -> Tdf_io.Protocol.response * float
 (** {!call} plus wall-clock seconds spent waiting. *)
@@ -42,6 +68,7 @@ module Trace : sig
     total_s : float;
     ok : int;
     errors : int;
+    retries : int;  (** reconnect/overloaded retries spent on this replay *)
     p50_ms : float;
     p99_ms : float;
     max_ms : float;

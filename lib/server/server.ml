@@ -3,6 +3,7 @@ module Protocol = Tdf_io.Protocol
 module Text = Tdf_io.Text
 module Contest = Tdf_io.Contest
 module Delta = Tdf_io.Delta
+module Journal = Tdf_io.Journal
 module Json = Tdf_telemetry.Json
 module Eco = Tdf_incremental.Eco
 module Pipeline = Tdf_robust.Pipeline
@@ -19,6 +20,11 @@ type cfg = {
   max_frame : int;
   default_budget_ms : int option;
   eco : Eco.cfg;
+  journal : Journal.cfg option;
+  snapshot_every : int;
+  max_pending : int;
+  idle_timeout_s : float;
+  deadline_ms : int option;
 }
 
 let default_cfg ~socket_path =
@@ -28,7 +34,50 @@ let default_cfg ~socket_path =
     max_frame = 16 * 1024 * 1024;
     default_budget_ms = None;
     eco = Eco.default_cfg;
+    journal = None;
+    snapshot_every = 64;
+    max_pending = 64;
+    idle_timeout_s = 0.;
+    deadline_ms = None;
   }
+
+type recovery_error =
+  | Journal_unusable of { detail : string }
+  | Snapshot_invalid of { session : string; detail : string }
+  | Replay_failed of {
+      lsn : int;
+      session : string;
+      code : string;
+      detail : string;
+    }
+  | Digest_drift of {
+      lsn : int;
+      session : string;
+      expected : string;
+      got : string;
+    }
+
+exception Recovery_error of recovery_error
+
+let recovery_error_to_string = function
+  | Journal_unusable { detail } -> "journal unusable: " ^ detail
+  | Snapshot_invalid { session; detail } ->
+    Printf.sprintf "snapshot of session %S is invalid: %s" session detail
+  | Replay_failed { lsn; session; code; detail } ->
+    Printf.sprintf "replay of journal record %d (session %S) failed [%s]: %s"
+      lsn session code detail
+  | Digest_drift { lsn; session; expected; got } ->
+    Printf.sprintf
+      "placement digest drift at journal record %d (session %S): journaled \
+       %s, replay produced %s"
+      lsn session expected got
+
+type recovery_stats = {
+  recovered_sessions : int;
+  replayed_records : int;
+  truncated_bytes : int;
+  dropped_snapshots : int;
+}
 
 type session = {
   id : string;
@@ -55,11 +104,17 @@ module Samples = struct
   let to_array t = Array.sub t.a 0 t.n
 end
 
+(* A queued frame, or a marker for one that was shed at enqueue time.
+   Shed markers stay in the per-connection queue so replies keep arriving
+   in request order — the client can correlate them positionally. *)
+type work = Exec of string | Shed
+
 type conn = {
   fd : Unix.file_descr;
   dec : Frame.decoder;
-  pending : string Queue.t;
+  pending : work Queue.t;
   mutable alive : bool;
+  mutable last_active_ns : int64;
 }
 
 type t = {
@@ -69,48 +124,24 @@ type t = {
   sessions : (string, session) Hashtbl.t;
   mutable tick : int;
   started_ns : int64;
+  mutable journal : Journal.t option;
+  mutable replaying : bool;  (** recovery replay: suppress re-journaling *)
+  mutable records_since_snapshot : int;
+  mutable pending_count : int;  (** queued [Exec] frames across all conns *)
+  mutable recovery : recovery_stats option;
   (* stats *)
   mutable requests : int;
   mutable errors : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable shed : int;
+  mutable reaped : int;
   mutable max_queue : int;
   req_kinds : (string, int ref) Hashtbl.t;
   latencies_ms : Samples.t;
   mutable stop : bool;
 }
-
-let make cfg listen_fd =
-  {
-    cfg;
-    listen_fd;
-    conns = [];
-    sessions = Hashtbl.create 16;
-    tick = 0;
-    started_ns = Timer.now_ns ();
-    requests = 0;
-    errors = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    max_queue = 0;
-    req_kinds = Hashtbl.create 8;
-    latencies_ms = Samples.create ();
-    stop = false;
-  }
-
-let create cfg =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  (try
-     Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen fd 64;
-     Unix.set_nonblock fd
-   with e ->
-     Unix.close fd;
-     raise e);
-  make cfg (Some fd)
 
 let stopping t = t.stop
 
@@ -120,6 +151,53 @@ let drop_sessions t =
   let n = Hashtbl.length t.sessions in
   Hashtbl.reset t.sessions;
   n
+
+let recovery t = t.recovery
+
+(* ---- journaling ------------------------------------------------------ *)
+
+let session_blob s =
+  let design = Eco.Session.design s.sess in
+  Json.to_string
+    (Json.Obj
+       [
+         ("design", Json.String (Text.design_to_string design));
+         ( "placement",
+           Json.String
+             (Text.placement_to_string design (Eco.Session.placement s.sess))
+         );
+         ("digest", Json.String (Eco.Session.state_digest s.sess));
+       ])
+
+(* Snapshot every live session, then truncate the wal: from here on a
+   recovery starts at the snapshots and replays nothing older.  Snapshots
+   of sessions no longer live are removed first — once the wal is empty
+   they are the whole truth, and a stale one would resurrect its
+   session. *)
+let snapshot_all t j =
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem t.sessions id) then
+        Journal.delete_snapshot j ~session:id)
+    (Journal.snapshot_sessions j);
+  Hashtbl.iter
+    (fun _ s -> Journal.save_snapshot j ~session:s.id (session_blob s))
+    t.sessions;
+  Journal.compact j;
+  t.records_since_snapshot <- 0
+
+let journal_append t fields =
+  match t.journal with
+  | Some j when not t.replaying ->
+    ignore (Journal.append j (Json.to_string (Json.Obj fields)));
+    t.records_since_snapshot <- t.records_since_snapshot + 1;
+    if t.records_since_snapshot >= max 1 t.cfg.snapshot_every then
+      snapshot_all t j
+  | _ -> ()
+
+let opt_int name = function
+  | None -> []
+  | Some v -> [ (name, Json.Int v) ]
 
 (* ---- session cache -------------------------------------------------- *)
 
@@ -153,7 +231,14 @@ let evict_lru t =
   | Some s ->
     Hashtbl.remove t.sessions s.id;
     t.evictions <- t.evictions + 1;
-    Tdf_telemetry.incr "serve.cache.evict"
+    Tdf_telemetry.incr "serve.cache.evict";
+    (* The eviction itself is journaled (and the stale snapshot removed)
+       so recovery reproduces the exact live set, never a superset. *)
+    journal_append t
+      [ ("op", Json.String "evict"); ("session", Json.String s.id) ];
+    (match t.journal with
+    | Some j when not t.replaying -> Journal.delete_snapshot j ~session:s.id
+    | _ -> ())
   | None -> ()
 
 let insert_session t id sess =
@@ -268,6 +353,20 @@ let assert_placement_roundtrip design p =
 
 let set_jobs_opt = function Some j -> Tdf_par.set_jobs j | None -> ()
 
+(* The deadline caps every budget, including explicit per-request ones:
+   with [deadline_ms] set no request can hold the single-threaded event
+   loop hostage longer than the cap (budget exhaustion degrades into a
+   best-effort result or a typed error, never a hang — Tdf_util.Budget
+   semantics). *)
+let effective_budget t requested =
+  let base =
+    match requested with Some _ -> requested | None -> t.cfg.default_budget_ms
+  in
+  match (base, t.cfg.deadline_ms) with
+  | Some b, Some d -> Some (min b d)
+  | None, Some d -> Some d
+  | b, None -> b
+
 let eco_cfg_of t ~radius ~max_widenings ~budget_ms =
   let base = t.cfg.eco in
   {
@@ -276,8 +375,7 @@ let eco_cfg_of t ~radius ~max_widenings ~budget_ms =
       Option.value radius ~default:base.Eco.initial_radius;
     Eco.max_widenings =
       Option.value max_widenings ~default:base.Eco.max_widenings;
-    Eco.budget_ms =
-      (match budget_ms with Some _ -> budget_ms | None -> t.cfg.default_budget_ms);
+    Eco.budget_ms = effective_budget t budget_ms;
   }
 
 let rec handle_req t (req : Protocol.request) : Protocol.response =
@@ -296,7 +394,17 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
       | None -> Placement.initial d
     in
     let sess = Eco.Session.create ~cfg:t.cfg.eco d p in
-    ignore (insert_session t session sess);
+    let s = insert_session t session sess in
+    (* Journaled as canonical native text whatever dialect arrived: replay
+       has one parser and the digest pins the decoded state. *)
+    journal_append t
+      [
+        ("op", Json.String "load");
+        ("session", Json.String session);
+        ("design", Json.String (Text.design_to_string d));
+        ("placement", Json.String (Text.placement_to_string d p));
+        ("digest", Json.String (Eco.Session.state_digest s.sess));
+      ];
     Ok
       (Protocol.Loaded
          {
@@ -309,15 +417,8 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
     let s = required_session t session in
     set_jobs_opt jobs;
     let design = Eco.Session.design s.sess in
-    let opts =
-      {
-        Pipeline.default_options with
-        Pipeline.budget_ms =
-          (match budget_ms with
-          | Some _ -> budget_ms
-          | None -> t.cfg.default_budget_ms);
-      }
-    in
+    let budget = effective_budget t budget_ms in
+    let opts = { Pipeline.default_options with Pipeline.budget_ms = budget } in
     let result, wall_s =
       Timer.time (fun () ->
           Pipeline.run ~opts ~cfg:t.cfg.eco.Eco.flow
@@ -327,6 +428,16 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
     | Error e -> fail "legalize-failed" "%s" (Tdf_robust.Error.to_string e)
     | Ok r ->
       Eco.Session.set_placement s.sess r.Pipeline.design r.Pipeline.placement;
+      (* Journal before the round-trip assertion below: the session state
+         has already advanced, and the journal must mirror it even when
+         the reply degrades to a freeze-drift error. *)
+      journal_append t
+        ([
+           ("op", Json.String "legalize");
+           ("session", Json.String session);
+         ]
+        @ opt_int "budget_ms" budget @ opt_int "jobs" jobs
+        @ [ ("digest", Json.String (Eco.Session.state_digest s.sess)) ]);
       let placement =
         if want_placement then
           Some (assert_placement_roundtrip r.Pipeline.design r.Pipeline.placement)
@@ -378,6 +489,20 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
             Eco.Session.set_placement s.sess prev_design prev_placement;
             raise e)
       in
+      (* After the assertion: a rolled-back request left no state to
+         journal.  The record carries the *effective* knobs (deadline cap
+         applied), so replay re-runs exactly what ran. *)
+      journal_append t
+        ([
+           ("op", Json.String "eco");
+           ("session", Json.String session);
+           ("delta", Json.String (Delta.to_string delta));
+           ("radius", Json.Int cfg.Eco.initial_radius);
+           ("max_widenings", Json.Int cfg.Eco.max_widenings);
+         ]
+        @ opt_int "budget_ms" cfg.Eco.budget_ms
+        @ opt_int "jobs" jobs
+        @ [ ("digest", Json.String (Eco.Session.state_digest s.sess)) ]);
       let st = r.Eco.stats in
       Ok
         (Protocol.Eco_applied
@@ -429,6 +554,37 @@ and stats_json_impl t =
             ("evictions", Json.Int t.evictions);
           ] );
       ("max_queue_depth", Json.Int t.max_queue);
+      ("shed", Json.Int t.shed);
+      ("reaped_connections", Json.Int t.reaped);
+      ( "journal",
+        match t.journal with
+        | None -> Json.Obj [ ("enabled", Json.Bool false) ]
+        | Some j ->
+          let js = Journal.stats j in
+          let rs =
+            Option.value t.recovery
+              ~default:
+                {
+                  recovered_sessions = 0;
+                  replayed_records = 0;
+                  truncated_bytes = 0;
+                  dropped_snapshots = 0;
+                }
+          in
+          Json.Obj
+            [
+              ("enabled", Json.Bool true);
+              ("appends", Json.Int js.Journal.appends);
+              ("appended_bytes", Json.Int js.Journal.appended_bytes);
+              ("fsyncs", Json.Int js.Journal.fsyncs);
+              ("snapshots_written", Json.Int js.Journal.snapshots_written);
+              ("compactions", Json.Int js.Journal.compactions);
+              ("last_lsn", Json.Int (Journal.last_lsn j));
+              ("recovered_sessions", Json.Int rs.recovered_sessions);
+              ("replayed_records", Json.Int rs.replayed_records);
+              ("truncated_tail_bytes", Json.Int rs.truncated_bytes);
+              ("dropped_snapshots", Json.Int rs.dropped_snapshots);
+            ] );
       ( "latency_ms",
         Json.Obj
           [
@@ -476,6 +632,296 @@ let handle t req =
   | Ok _ -> ());
   response
 
+(* ---- recovery -------------------------------------------------------- *)
+
+let json_str name doc = Option.bind (Json.member name doc) Json.to_str
+
+let json_int name doc = Option.bind (Json.member name doc) Json.to_int
+
+let parse_blob blob =
+  match Json.of_string blob with
+  | Error e -> Error ("snapshot blob is not JSON: " ^ e)
+  | Ok doc -> (
+    match
+      (json_str "design" doc, json_str "placement" doc, json_str "digest" doc)
+    with
+    | Some d, Some p, Some dg -> Ok (d, p, dg)
+    | _ -> Error "snapshot blob is missing design/placement/digest")
+
+(* Rebuild the session table from the journal: latest valid snapshot per
+   session, then command-replay of the wal suffix through the very same
+   Eco.Session machinery live requests use.  The engines are deterministic
+   (byte-identical at any --jobs), so replay must land on the journaled
+   digests — any drift is a typed startup error, not a silent divergence.
+   The one documented exception: budget-capped requests replay with the
+   recorded effective budget, and a wall-clock budget that clipped the
+   original run differently from the replay shows up as Digest_drift. *)
+let recover t j (r : Journal.recovery) =
+  t.replaying <- true;
+  Fun.protect
+    ~finally:(fun () -> t.replaying <- false)
+    (fun () ->
+      let state : (string, Eco.Session.t * int) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      List.iter
+        (fun (s : Journal.snapshot) ->
+          let invalid detail =
+            raise
+              (Recovery_error
+                 (Snapshot_invalid { session = s.Journal.snap_session; detail }))
+          in
+          match parse_blob s.Journal.blob with
+          | Error e -> invalid e
+          | Ok (dtxt, ptxt, digest) ->
+            let design =
+              match Text.read_design dtxt with
+              | Ok d -> d
+              | Error e -> invalid ("design: " ^ e)
+            in
+            let placement =
+              match Text.read_placement design ptxt with
+              | Ok p -> p
+              | Error e -> invalid ("placement: " ^ e)
+            in
+            let sess = Eco.Session.create ~cfg:t.cfg.eco design placement in
+            let got = Eco.Session.state_digest sess in
+            if got <> digest then
+              raise
+                (Recovery_error
+                   (Digest_drift
+                      {
+                        lsn = s.Journal.snap_lsn;
+                        session = s.Journal.snap_session;
+                        expected = digest;
+                        got;
+                      }));
+            Hashtbl.replace state s.Journal.snap_session
+              (sess, s.Journal.snap_lsn))
+        r.Journal.snapshots;
+      let replayed = ref 0 in
+      List.iter
+        (fun (lsn, payload) ->
+          let doc =
+            match Json.of_string payload with
+            | Ok doc -> doc
+            | Error e ->
+              raise
+                (Recovery_error
+                   (Replay_failed
+                      {
+                        lsn;
+                        session = "";
+                        code = "bad-record";
+                        detail = "record is not JSON: " ^ e;
+                      }))
+          in
+          let op = Option.value (json_str "op" doc) ~default:"" in
+          let session = Option.value (json_str "session" doc) ~default:"" in
+          let failr code detail =
+            raise (Recovery_error (Replay_failed { lsn; session; code; detail }))
+          in
+          let check_digest sess =
+            match json_str "digest" doc with
+            | None -> ()
+            | Some expected ->
+              let got = Eco.Session.state_digest sess in
+              if got <> expected then
+                raise
+                  (Recovery_error
+                     (Digest_drift { lsn; session; expected; got }))
+          in
+          (* Anything at or below the session's snapshot lsn is already
+             reflected in the snapshot — skipping it makes a crash between
+             save_snapshot and compact harmless. *)
+          let skip =
+            match Hashtbl.find_opt state session with
+            | Some (_, high) -> lsn <= high
+            | None -> false
+          in
+          if not skip then begin
+            incr replayed;
+            match op with
+            | "load" ->
+              let need name =
+                match json_str name doc with
+                | Some v -> v
+                | None -> failr "bad-record" ("load record missing " ^ name)
+              in
+              let design =
+                match Text.read_design (need "design") with
+                | Ok d -> d
+                | Error e -> failr "parse-error" ("design: " ^ e)
+              in
+              let placement =
+                match Text.read_placement design (need "placement") with
+                | Ok p -> p
+                | Error e -> failr "parse-error" ("placement: " ^ e)
+              in
+              let sess = Eco.Session.create ~cfg:t.cfg.eco design placement in
+              check_digest sess;
+              Hashtbl.replace state session (sess, lsn)
+            | "eco" ->
+              let sess =
+                match Hashtbl.find_opt state session with
+                | Some (s, _) -> s
+                | None ->
+                  failr "unknown-session" "eco record for a session never loaded"
+              in
+              let delta =
+                match json_str "delta" doc with
+                | None -> failr "bad-record" "eco record missing delta"
+                | Some txt -> (
+                  match Delta.read txt with
+                  | Ok d -> d
+                  | Error e -> failr "parse-error" ("delta: " ^ e))
+              in
+              let cfg =
+                {
+                  t.cfg.eco with
+                  Eco.initial_radius =
+                    Option.value (json_int "radius" doc)
+                      ~default:t.cfg.eco.Eco.initial_radius;
+                  Eco.max_widenings =
+                    Option.value (json_int "max_widenings" doc)
+                      ~default:t.cfg.eco.Eco.max_widenings;
+                  Eco.budget_ms = json_int "budget_ms" doc;
+                }
+              in
+              set_jobs_opt (json_int "jobs" doc);
+              (match Eco.Session.eco ~cfg sess delta with
+              | Error (Eco.Invalid_delta msg) -> failr "invalid-delta" msg
+              | Error e -> failr "eco-failed" (Eco.error_to_string e)
+              | Ok _ -> ());
+              check_digest sess;
+              Hashtbl.replace state session (sess, lsn)
+            | "legalize" ->
+              let sess =
+                match Hashtbl.find_opt state session with
+                | Some (s, _) -> s
+                | None ->
+                  failr "unknown-session"
+                    "legalize record for a session never loaded"
+              in
+              let opts =
+                {
+                  Pipeline.default_options with
+                  Pipeline.budget_ms = json_int "budget_ms" doc;
+                }
+              in
+              set_jobs_opt (json_int "jobs" doc);
+              (match
+                 Pipeline.run ~opts ~cfg:t.cfg.eco.Eco.flow
+                   ~start:(Eco.Session.placement sess)
+                   (Eco.Session.design sess)
+               with
+              | Error e ->
+                failr "legalize-failed" (Tdf_robust.Error.to_string e)
+              | Ok pr ->
+                Eco.Session.set_placement sess pr.Pipeline.design
+                  pr.Pipeline.placement);
+              check_digest sess;
+              Hashtbl.replace state session (sess, lsn)
+            | "evict" -> Hashtbl.remove state session
+            | other -> failr "bad-record" ("unknown journal op " ^ other)
+          end)
+        r.Journal.records;
+      (* Install in last-mutation order so LRU recency approximates the
+         pre-crash order (read-only touches are not journaled). *)
+      let ordered =
+        Hashtbl.fold (fun id (sess, lsn) acc -> (lsn, id, sess) :: acc) state []
+        |> List.sort compare
+      in
+      List.iter (fun (_, id, sess) -> ignore (insert_session t id sess)) ordered;
+      t.recovery <-
+        Some
+          {
+            recovered_sessions = List.length ordered;
+            replayed_records = !replayed;
+            truncated_bytes = r.Journal.truncated_bytes;
+            dropped_snapshots = r.Journal.dropped_snapshots;
+          };
+      if
+        ordered <> [] || r.Journal.records <> []
+        || r.Journal.truncated_bytes > 0
+      then Tdf_telemetry.incr "serve.recoveries";
+      (* Re-baseline: fresh snapshots, empty wal.  The next recovery
+         starts here instead of re-replaying history. *)
+      snapshot_all t j)
+
+let make cfg listen_fd =
+  let t =
+    {
+      cfg;
+      listen_fd;
+      conns = [];
+      sessions = Hashtbl.create 16;
+      tick = 0;
+      started_ns = Timer.now_ns ();
+      journal = None;
+      replaying = false;
+      records_since_snapshot = 0;
+      pending_count = 0;
+      recovery = None;
+      requests = 0;
+      errors = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      shed = 0;
+      reaped = 0;
+      max_queue = 0;
+      req_kinds = Hashtbl.create 8;
+      latencies_ms = Samples.create ();
+      stop = false;
+    }
+  in
+  (match cfg.journal with
+  | None -> ()
+  | Some jcfg -> (
+    match Journal.open_ jcfg with
+    | Error detail -> raise (Recovery_error (Journal_unusable { detail }))
+    | Ok (j, r) ->
+      t.journal <- Some j;
+      recover t j r));
+  t
+
+(* A socket file can outlive a SIGKILLed daemon.  Probe it: a successful
+   connect means someone is listening (refuse to steal the address); a
+   refused connect means the file is stale and safe to unlink.  A
+   non-socket file at the path is never deleted. *)
+let remove_stale_socket path =
+  match (Unix.lstat path).Unix.st_kind with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | Unix.S_SOCK ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path));
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> raise (Unix.Unix_error (Unix.EEXIST, "bind", path))
+
+let create cfg =
+  remove_stale_socket cfg.socket_path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  match make cfg (Some fd) with
+  | t -> t
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+    raise e
+
 (* ---- event loop ------------------------------------------------------ *)
 
 let write_all fd s =
@@ -485,17 +931,26 @@ let write_all fd s =
   while !off < n do
     match Unix.write fd b !off (n - !off) with
     | written -> off := !off + written
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      ignore (Unix.select [] [ fd ] [] 1.0)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+      try ignore (Unix.select [] [ fd ] [] 1.0)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let close_conn conn =
+let close_conn t conn =
   conn.alive <- false;
+  Queue.iter
+    (function
+      | Exec _ -> t.pending_count <- t.pending_count - 1
+      | Shed -> ())
+    conn.pending;
+  Queue.clear conn.pending;
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-let send_response conn resp =
+let send_response t conn resp =
+  conn.last_active_ns <- Timer.now_ns ();
   try write_all conn.fd (Frame.encode (Protocol.response_to_string resp))
-  with Unix.Unix_error _ -> close_conn conn
+  with Unix.Unix_error _ -> close_conn t conn
 
 let accept_new t fd =
   let rec loop () =
@@ -508,6 +963,7 @@ let accept_new t fd =
           dec = Frame.decoder ~max_frame:t.cfg.max_frame ();
           pending = Queue.create ();
           alive = true;
+          last_active_ns = Timer.now_ns ();
         }
         :: t.conns;
       loop ()
@@ -521,7 +977,15 @@ let read_conn t conn =
   let rec drain_frames () =
     match Frame.next conn.dec with
     | Ok (Some payload) ->
-      Queue.add payload conn.pending;
+      (* Overload decision at enqueue time: beyond the global bound the
+         frame is dropped and a Shed marker keeps its reply slot, so the
+         client still gets an answer (a typed "overloaded") in order. *)
+      if t.pending_count >= max 1 t.cfg.max_pending then
+        Queue.add Shed conn.pending
+      else begin
+        t.pending_count <- t.pending_count + 1;
+        Queue.add (Exec payload) conn.pending
+      end;
       drain_frames ()
     | Ok None -> ()
     | Error e ->
@@ -529,26 +993,27 @@ let read_conn t conn =
          connection — there is no way to resynchronize the stream. *)
       t.errors <- t.errors + 1;
       Tdf_telemetry.incr "serve.errors";
-      send_response conn
+      send_response t conn
         (Protocol.error ~code:"bad-frame" (Frame.error_to_string e));
-      close_conn conn
+      close_conn t conn
   in
   let rec loop () =
     if conn.alive then
       match Unix.read conn.fd buf 0 (Bytes.length buf) with
-      | 0 -> close_conn conn
+      | 0 -> close_conn t conn
       | n ->
+        conn.last_active_ns <- Timer.now_ns ();
         Frame.feed conn.dec (Bytes.sub_string buf 0 n);
         drain_frames ();
         if conn.alive then loop ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error (_, _, _) -> close_conn conn
+      | exception Unix.Unix_error (_, _, _) -> close_conn t conn
   in
   loop ()
 
-let process_pending t =
+let process_queues ~respect_stop t =
   let depth =
     List.fold_left (fun a c -> a + Queue.length c.pending) 0 t.conns
   in
@@ -556,29 +1021,58 @@ let process_pending t =
   if depth > 0 then Tdf_telemetry.observe "serve.queue_depth" (float_of_int depth);
   (* Round-robin one frame per connection per pass, so one chatty client
      cannot starve the others. *)
+  let stopped () = respect_stop && t.stop in
   let progressed = ref true in
-  while !progressed && not t.stop do
+  while !progressed && not (stopped ()) do
     progressed := false;
     List.iter
       (fun conn ->
-        if conn.alive && (not t.stop) && not (Queue.is_empty conn.pending)
+        if conn.alive && (not (stopped ())) && not (Queue.is_empty conn.pending)
         then begin
           progressed := true;
-          let payload = Queue.take conn.pending in
-          let resp =
-            match Protocol.request_of_string payload with
-            | Error e ->
-              t.requests <- t.requests + 1;
-              t.errors <- t.errors + 1;
-              Tdf_telemetry.incr "serve.requests";
-              Tdf_telemetry.incr "serve.errors";
-              Error e
-            | Ok req -> handle t req
-          in
-          send_response conn resp
+          match Queue.take conn.pending with
+          | Shed ->
+            t.shed <- t.shed + 1;
+            Tdf_telemetry.incr "serve.shed";
+            send_response t conn
+              (Protocol.error ~code:"overloaded"
+                 "server overloaded: pending-request queue is full; retry \
+                  after a backoff")
+          | Exec payload ->
+            t.pending_count <- t.pending_count - 1;
+            let resp =
+              match Protocol.request_of_string payload with
+              | Error e ->
+                t.requests <- t.requests + 1;
+                t.errors <- t.errors + 1;
+                Tdf_telemetry.incr "serve.requests";
+                Tdf_telemetry.incr "serve.errors";
+                Error e
+              | Ok req -> handle t req
+            in
+            send_response t conn resp
         end)
       t.conns
   done
+
+let process_pending t = process_queues ~respect_stop:true t
+
+let reap_idle t =
+  if t.cfg.idle_timeout_s > 0. then begin
+    let limit_ns = Int64.of_float (t.cfg.idle_timeout_s *. 1e9) in
+    List.iter
+      (fun conn ->
+        if
+          conn.alive
+          && Queue.is_empty conn.pending
+          && Int64.compare (Timer.elapsed_ns conn.last_active_ns) limit_ns > 0
+        then begin
+          t.reaped <- t.reaped + 1;
+          Tdf_telemetry.incr "serve.reaped";
+          close_conn t conn
+        end)
+      t.conns
+  end
 
 let step ?(timeout_ms = 200) t =
   if t.stop then false
@@ -599,15 +1093,50 @@ let step ?(timeout_ms = 200) t =
         if conn.alive && List.memq conn.fd readable then read_conn t conn)
       t.conns;
     process_pending t;
+    reap_idle t;
     t.conns <- List.filter (fun c -> c.alive) t.conns;
     not t.stop
   end
 
 let run t = while step t do () done
 
+let drain t =
+  (* Answer everything already queued (even when a shutdown request set
+     the stop flag), then persist a final consistent image. *)
+  process_queues ~respect_stop:false t;
+  match t.journal with
+  | Some j ->
+    snapshot_all t j;
+    Journal.sync j
+  | None -> ()
+
 let close t =
+  (match t.journal with
+  | Some j ->
+    snapshot_all t j;
+    Journal.close j;
+    t.journal <- None
+  | None -> ());
   t.stop <- true;
-  List.iter close_conn t.conns;
+  List.iter (close_conn t) t.conns;
+  t.conns <- [];
+  (match t.listen_fd with
+  | Some fd -> (
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+  | None -> ());
+  ignore (drop_sessions t)
+
+let crash t =
+  (* Abandon without the final snapshot close/drain would write: whatever
+     the journal holds is exactly what a SIGKILL would have left. *)
+  (match t.journal with
+  | Some j ->
+    Journal.close j;
+    t.journal <- None
+  | None -> ());
+  t.stop <- true;
+  List.iter (close_conn t) t.conns;
   t.conns <- [];
   (match t.listen_fd with
   | Some fd -> (

@@ -1,0 +1,39 @@
+type state = int
+
+(* Reflected CRC-32: table.(i) is the CRC of the single byte [i]. *)
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let empty = 0xFFFFFFFF
+
+let update_sub get state off len =
+  let t = Lazy.force table in
+  let c = ref state in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code (get i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c
+
+let update_string ?(off = 0) ?len state s =
+  let len = Option.value len ~default:(String.length s - off) in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.update_string";
+  update_sub (String.unsafe_get s) state off len
+
+let update_bytes ?(off = 0) ?len state b =
+  let len = Option.value len ~default:(Bytes.length b - off) in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32.update_bytes";
+  update_sub (Bytes.unsafe_get b) state off len
+
+let value state = state lxor 0xFFFFFFFF
+
+let string s = value (update_string empty s)
+
+let to_hex v = Printf.sprintf "%08x" (v land 0xFFFFFFFF)

@@ -1,0 +1,34 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+    The checksum guarding the write-ahead journal records and session
+    snapshots of the serving layer ({!Tdf_io.Journal}): cheap enough to
+    run on every appended record, strong enough to catch torn writes and
+    bit rot on reopen.  Values are full 32-bit checksums carried in an
+    OCaml [int] (always non-negative).
+
+    The running-state API streams without intermediate copies:
+
+    {[
+      let crc = Crc32.(value (update_string empty s)) in ...
+    ]} *)
+
+type state
+(** Running (pre-finalization) CRC state. *)
+
+val empty : state
+(** State after zero bytes. *)
+
+val update_string : ?off:int -> ?len:int -> state -> string -> state
+
+val update_bytes : ?off:int -> ?len:int -> state -> Bytes.t -> state
+
+val value : state -> int
+(** Finalized checksum of everything fed so far, in [\[0, 2^32)].
+    Finalization does not consume the state: feeding more bytes after
+    reading a value is fine. *)
+
+val string : string -> int
+(** One-shot [value (update_string empty s)]. *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase 8-digit hex, e.g. ["cbf43926"]. *)

@@ -1,17 +1,25 @@
 (* site -> remaining armed charges *)
 let charges : (string, int) Hashtbl.t = Hashtbl.create 8
 
+(* site -> fires to let pass before the armed charges start consuming *)
+let delays : (string, int) Hashtbl.t = Hashtbl.create 8
+
 (* site -> consumed charges since reset *)
 let consumed : (string, int) Hashtbl.t = Hashtbl.create 8
 
 let reset () =
   Hashtbl.reset charges;
+  Hashtbl.reset delays;
   Hashtbl.reset consumed
 
-let arm ?(times = 1) site =
-  if times > 0 then
+let arm ?(times = 1) ?(after = 0) site =
+  if times > 0 then begin
     let cur = Option.value (Hashtbl.find_opt charges site) ~default:0 in
-    Hashtbl.replace charges site (cur + times)
+    Hashtbl.replace charges site (cur + times);
+    if after > 0 then
+      Hashtbl.replace delays site
+        (after + Option.value (Hashtbl.find_opt delays site) ~default:0)
+  end
 
 let armed site =
   match Hashtbl.find_opt charges site with Some n -> n > 0 | None -> false
@@ -20,12 +28,18 @@ let fire site =
   if Hashtbl.length charges = 0 then false
   else
     match Hashtbl.find_opt charges site with
-    | Some n when n > 0 ->
-      if n = 1 then Hashtbl.remove charges site
-      else Hashtbl.replace charges site (n - 1);
-      Hashtbl.replace consumed site
-        (1 + Option.value (Hashtbl.find_opt consumed site) ~default:0);
-      true
+    | Some n when n > 0 -> (
+      match Hashtbl.find_opt delays site with
+      | Some d when d > 0 ->
+        if d = 1 then Hashtbl.remove delays site
+        else Hashtbl.replace delays site (d - 1);
+        false
+      | _ ->
+        if n = 1 then Hashtbl.remove charges site
+        else Hashtbl.replace charges site (n - 1);
+        Hashtbl.replace consumed site
+          (1 + Option.value (Hashtbl.find_opt consumed site) ~default:0);
+        true)
     | _ -> false
 
 let fired site = Option.value (Hashtbl.find_opt consumed site) ~default:0

@@ -14,9 +14,12 @@
 val reset : unit -> unit
 (** Disarm every site. *)
 
-val arm : ?times:int -> string -> unit
-(** [arm ?times site] makes the next [times] (default 1) calls of
-    {!fire} on [site] return [true]. *)
+val arm : ?times:int -> ?after:int -> string -> unit
+(** [arm ?times ?after site] makes calls of {!fire} on [site] return
+    [true] [times] times (default 1), after first letting [after]
+    (default 0) fires pass un-triggered.  The skip count lets a test or
+    the chaos harness aim at e.g. {e the Kth journal append} rather than
+    the next one. *)
 
 val armed : string -> bool
 (** Whether the site would fire (without consuming a charge). *)

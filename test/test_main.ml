@@ -25,5 +25,6 @@ let () =
       ("integration", Test_integration.suite);
       ("incremental", Test_incremental.suite);
       ("server", Test_server.suite);
+      ("journal", Test_journal.suite);
       ("gate", Test_gate.suite);
     ]

@@ -174,12 +174,13 @@ let sock_path name =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "tdfsrv-%d-%s.sock" (Unix.getpid ()) name)
 
-let with_server ?(max_sessions = 8) name f =
+let with_server ?(max_sessions = 8) ?(tweak = fun c -> c) name f =
   let cfg =
-    {
-      (Server.default_cfg ~socket_path:(sock_path name)) with
-      Server.max_sessions;
-    }
+    tweak
+      {
+        (Server.default_cfg ~socket_path:(sock_path name)) with
+        Server.max_sessions;
+      }
   in
   let server = Server.create cfg in
   Fun.protect ~finally:(fun () -> Server.close server) (fun () -> f server cfg)
@@ -490,6 +491,225 @@ let test_socket_bad_frame () =
           | None -> ()
           | Some _ -> Alcotest.fail "connection survived a framing loss"))
 
+(* ---- overload control and lifecycle ---------------------------------- *)
+
+(* Pipeline a burst past max_pending in one write: the first frame
+   executes, the rest are shed with typed "overloaded" replies delivered
+   in request order. *)
+let test_overload_shed () =
+  with_server ~tweak:(fun c -> { c with Server.max_pending = 1 }) "shed"
+    (fun server cfg ->
+      let fd = connect cfg.Server.socket_path in
+      let dec = Frame.decoder () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let burst =
+            String.concat ""
+              (List.init 4 (fun _ ->
+                   Frame.encode (Protocol.request_to_string Protocol.Ping)))
+          in
+          let b = Bytes.of_string burst in
+          ignore (Unix.write fd b 0 (Bytes.length b));
+          let replies =
+            List.init 4 (fun _ ->
+                match recv server fd dec with
+                | Some payload -> (
+                  match Protocol.response_of_string payload with
+                  | Ok r -> r
+                  | Error e -> Alcotest.failf "unparseable reply: %s" e)
+                | None -> Alcotest.fail "connection closed during burst")
+          in
+          (match replies with
+          | Ok Protocol.Pong :: shed ->
+            List.iter
+              (fun r ->
+                Alcotest.(check string) "shed reply" "overloaded" (err_code r))
+              shed
+          | _ -> Alcotest.fail "first frame of the burst was not executed");
+          (* A shed request costs no session work and the server keeps
+             serving afterwards. *)
+          check "alive after shedding" true
+            (call server fd dec Protocol.Ping = Ok Protocol.Pong)))
+
+(* A stale socket file from a SIGKILLed daemon is probed and removed; a
+   live daemon's socket is not stolen; a non-socket file is never
+   deleted. *)
+let test_stale_socket_handling () =
+  let path = sock_path "stale" in
+  (* Fabricate a dead daemon: bind, then close without unlinking. *)
+  if Sys.file_exists path then Sys.remove path;
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.listen dead 1;
+  Unix.close dead;
+  check "stale file left behind" true (Sys.file_exists path);
+  let cfg = Server.default_cfg ~socket_path:path in
+  let server = Server.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.close server)
+    (fun () ->
+      (* Second daemon on the same path: the probe connects, so the
+         socket is live and must not be stolen. *)
+      (match Server.create cfg with
+      | second ->
+        Server.close second;
+        Alcotest.fail "second daemon stole a live socket"
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ());
+      check "live socket still present" true (Sys.file_exists path));
+  (* A plain file at the path is refused, not deleted. *)
+  let oc = open_out path in
+  output_string oc "precious";
+  close_out oc;
+  (match Server.create cfg with
+  | second ->
+    Server.close second;
+    Alcotest.fail "daemon clobbered a non-socket file"
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  check "non-socket file untouched" true (Sys.file_exists path);
+  Sys.remove path
+
+(* Idle connections are reaped once idle_timeout_s passes with nothing
+   queued; an active connection is not. *)
+let test_idle_reap () =
+  with_server
+    ~tweak:(fun c -> { c with Server.idle_timeout_s = 0.05 })
+    "reap"
+    (fun server cfg ->
+      let fd = connect cfg.Server.socket_path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let dec = Frame.decoder () in
+          check "served before idling" true
+            (call server fd dec Protocol.Ping = Ok Protocol.Pong);
+          Unix.sleepf 0.08;
+          (* Let the loop notice the idle connection, then the next read
+             must see EOF. *)
+          ignore (Server.step ~timeout_ms:10 server);
+          match recv server fd dec with
+          | None -> ()
+          | Some _ -> Alcotest.fail "idle connection survived the reaper"))
+
+(* drain: everything queued is answered and the journal ends compacted
+   with one snapshot per live session — the SIGTERM path minus the
+   process machinery. *)
+let test_drain_snapshots () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tdfsrv-drain-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.journal = Some (Tdf_io.Journal.default_cfg ~dir) })
+    "drain"
+    (fun server _cfg ->
+      ignore (ok_or_fail (load server ~session:"s" (fixture 79)));
+      (match
+         Server.handle server
+           (Protocol.Eco
+              {
+                session = "s";
+                delta = Protocol.Text "move 4 20 20 0\n";
+                radius = None;
+                max_widenings = None;
+                budget_ms = None;
+                jobs = None;
+                want_placement = false;
+              })
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "eco: %s" e.Protocol.detail);
+      Server.drain server;
+      (* Snapshot on disk, wal compacted: a restart replays nothing. *)
+      match Tdf_io.Journal.open_ (Tdf_io.Journal.default_cfg ~dir) with
+      | Error e -> Alcotest.failf "journal reopen: %s" e
+      | Ok (j, r) ->
+        Tdf_io.Journal.close j;
+        check "wal compacted by drain" true (r.Tdf_io.Journal.records = []);
+        check "one snapshot per live session" true
+          (List.map
+             (fun s -> s.Tdf_io.Journal.snap_session)
+             r.Tdf_io.Journal.snapshots
+          = [ "s" ]))
+
+(* ---- frame decoder fuzzing ------------------------------------------- *)
+
+let frame_payloads_arb =
+  Props.list ~min_len:1 ~max_len:6
+    (Props.map
+       ~print:(fun s -> Printf.sprintf "%S" s)
+       (fun l ->
+         let a = Array.of_list l in
+         String.init (Array.length a) (fun i -> Char.chr a.(i)))
+       (Props.list ~max_len:30 (Props.int_range 0 255)))
+
+(* Feeding a valid frame stream in arbitrary chunks decodes the exact
+   payload sequence. *)
+let prop_frame_chunked_decode (payloads, splits) =
+  let stream = String.concat "" (List.map Frame.encode payloads) in
+  let dec = Frame.decoder () in
+  let got = ref [] in
+  let n = String.length stream in
+  let cuts =
+    List.sort_uniq compare
+      (0 :: n :: List.map (fun f -> int_of_float (f *. float_of_int n)) splits)
+  in
+  let rec feed = function
+    | a :: (b :: _ as rest) ->
+      Frame.feed dec (String.sub stream a (b - a));
+      let rec drain () =
+        match Frame.next dec with
+        | Ok (Some p) ->
+          got := p :: !got;
+          drain ()
+        | Ok None -> ()
+        | Error e -> Alcotest.failf "valid stream errored: %s" (Frame.error_to_string e)
+      in
+      drain ();
+      feed rest
+    | _ -> ()
+  in
+  feed cuts;
+  List.rev !got = payloads
+
+(* A mutated stream (bit flip or truncation) may decode to anything the
+   bytes say — but the decoder must stay total: typed results only,
+   never an exception, and a poisoned decoder stays poisoned instead of
+   spinning. *)
+let prop_frame_mutation_total (payloads, pos_frac, bit) =
+  let stream = String.concat "" (List.map Frame.encode payloads) in
+  let n = String.length stream in
+  let data = Bytes.of_string stream in
+  let pos = min (n - 1) (int_of_float (pos_frac *. float_of_int n)) in
+  (* bit 8 means truncate at [pos] instead of flipping. *)
+  let mutated =
+    if bit = 8 then Bytes.sub_string data 0 pos
+    else begin
+      Bytes.set data pos
+        (Char.chr (Char.code (Bytes.get data pos) lxor (1 lsl bit)));
+      Bytes.to_string data
+    end
+  in
+  let dec = Frame.decoder ~max_frame:(1 lsl 20) () in
+  let rec drain budget =
+    if budget = 0 then Alcotest.fail "decoder failed to converge"
+    else
+      match Frame.next dec with
+      | Ok (Some _) -> drain (budget - 1)
+      | Ok None -> true
+      | Error _ -> true
+  in
+  (match Frame.feed dec mutated with
+  | () -> ()
+  | exception Invalid_argument _ -> ());
+  drain 100
+
 let suite =
   [
     Alcotest.test_case "frame round-trip (bulk and byte-at-a-time)" `Quick
@@ -516,4 +736,20 @@ let suite =
       test_socket_end_to_end;
     Alcotest.test_case "framing loss: one bad-frame reply, then close" `Quick
       test_socket_bad_frame;
+    Alcotest.test_case "overload: burst past max_pending is shed typed" `Quick
+      test_overload_shed;
+    Alcotest.test_case "stale socket reclaimed, live and non-socket refused"
+      `Quick test_stale_socket_handling;
+    Alcotest.test_case "idle connections are reaped" `Quick test_idle_reap;
+    Alcotest.test_case "drain compacts the journal behind a snapshot" `Quick
+      test_drain_snapshots;
+    Props.test ~count:40 "frame: chunked decode equals payloads"
+      (Props.pair frame_payloads_arb
+         (Props.list ~max_len:8 (Props.float_range 0. 1.)))
+      prop_frame_chunked_decode;
+    Props.test ~count:60 "frame: mutated stream stays total"
+      (Props.triple frame_payloads_arb
+         (Props.float_range 0. 0.999)
+         (Props.int_range 0 8))
+      prop_frame_mutation_total;
   ]

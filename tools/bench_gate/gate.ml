@@ -87,6 +87,16 @@ let serve_probes =
       p_read = float_field "speedup_p50" };
     { p_name = "cache_hit_rate"; p_kind = Floor;
       p_read = float_field "cache_hit_rate" };
+    {
+      p_name = "journal_byte_identical";
+      p_kind = Exact;
+      p_read = (fun j -> if bool_field "journal_byte_identical" j then 1. else 0.);
+    };
+    (* A ratio of two latencies measured in the same run: immune to host
+       speed (and to --inject-slowdown), so a plain Bound, not Time.  The
+       baseline pins the tolerated write-ahead-journal overhead. *)
+    { p_name = "journal_overhead_p50"; p_kind = Bound;
+      p_read = float_field "journal_overhead_p50" };
   ]
 
 let eco_probes =

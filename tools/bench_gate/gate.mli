@@ -14,8 +14,12 @@
     - {b serve} ([BENCH_serve.json]): the warm-daemon replay must be
       [legal] and [byte_identical] to the one-shot CLI chain, its
       [warm_p50_ms]/[warm_p99_ms] latencies may grow by at most the
-      regression factor, and [speedup_p50]/[cache_hit_rate] must stay
-      {e above} the floors pinned in the baseline file.
+      regression factor, [speedup_p50]/[cache_hit_rate] must stay
+      {e above} the floors pinned in the baseline file, and the journaled
+      rerun must be [journal_byte_identical] with a
+      [journal_overhead_p50] latency ratio at most the bound pinned in
+      the baseline (a within-run ratio, so host speed and
+      [inject_slowdown] cancel out).
 
     Cases present in only one of the files are reported but not fatal
     (benchmarks gain cases over time); a baseline/current pair with {e no}
