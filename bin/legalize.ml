@@ -777,6 +777,14 @@ let serve_cmd =
                 connections; beyond it requests are shed with a typed \
                 overloaded reply.")
   in
+  let max_conn_queue =
+    Arg.(
+      value & opt int 256
+      & info [ "max-conn-queue" ] ~docv:"N"
+          ~doc:"Per-connection bound on queued frames (shed markers \
+                included); a client that streams past it gets a typed \
+                queue-overflow error and its connection closed.")
+  in
   let idle_timeout =
     Arg.(
       value & opt float 0.
@@ -818,7 +826,8 @@ let serve_cmd =
     | _ -> failwith ("bad --arm-failpoint spec " ^ spec)
   in
   let run () socket max_sessions max_frame budget_ms journal_dir fsync
-      snapshot_every max_pending idle_timeout deadline_ms arm_failpoint tele =
+      snapshot_every max_pending max_conn_queue idle_timeout deadline_ms
+      arm_failpoint tele =
     with_telemetry tele @@ fun () ->
     Option.iter parse_arm arm_failpoint;
     let journal =
@@ -839,6 +848,7 @@ let serve_cmd =
         journal;
         snapshot_every;
         max_pending;
+        max_conn_queue;
         idle_timeout_s = idle_timeout;
         deadline_ms;
       }
@@ -892,7 +902,8 @@ let serve_cmd =
     Term.(
       const run $ jobs_term $ socket_arg $ max_sessions $ max_frame
       $ budget_ms $ journal_dir $ fsync $ snapshot_every $ max_pending
-      $ idle_timeout $ deadline_ms $ arm_failpoint $ telemetry_term)
+      $ max_conn_queue $ idle_timeout $ deadline_ms $ arm_failpoint
+      $ telemetry_term)
 
 (* ---- client -------------------------------------------------------- *)
 

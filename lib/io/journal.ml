@@ -191,7 +191,11 @@ let decode_snapshot payload =
           blob = String.sub payload (10 + slen) (n - 10 - slen);
         }
 
-let load_snapshot ~max_record path =
+(* A snapshot file holds exactly one record and is read whole, so its
+   own length bounds the scan — [cfg.max_record] is a wal-append cap and
+   must NOT apply here, or a session whose blob outgrew it would
+   snapshot successfully and then be silently dropped on recovery. *)
+let load_snapshot path =
   match
     let ic = open_in_bin path in
     let n = in_channel_length ic in
@@ -201,7 +205,7 @@ let load_snapshot ~max_record path =
   with
   | exception Sys_error _ -> None
   | raw -> (
-    match scan ~max_record (Bytes.of_string raw) with
+    match scan ~max_record:(String.length raw) (Bytes.of_string raw) with
     | [ payload ], good when good = String.length raw -> decode_snapshot payload
     | _ -> None)
 
@@ -261,9 +265,7 @@ let open_ cfg =
         then begin
           let hex = String.sub f 5 (String.length f - 10) in
           match
-            ( string_of_hex hex,
-              load_snapshot ~max_record:cfg.max_record (Filename.concat cfg.dir f)
-            )
+            (string_of_hex hex, load_snapshot (Filename.concat cfg.dir f))
           with
           | Some session, Some snap when session = snap.snap_session ->
             snaps := snap :: !snaps

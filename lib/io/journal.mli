@@ -58,7 +58,13 @@ val fsync_policy_to_string : fsync_policy -> string
 type cfg = {
   dir : string;  (** journal directory, created if missing *)
   fsync : fsync_policy;
-  max_record : int;  (** per-record payload cap in bytes (default 64 MiB) *)
+  max_record : int;
+      (** per-record payload cap in bytes for wal appends (default
+          64 MiB) — bounds both {!append} and the allocation a garbage
+          length field could demand during the wal scan.  Snapshot files
+          are exempt: each holds exactly one record and is bounded by
+          its own length, so a session whose snapshot blob outgrows
+          [max_record] still recovers. *)
 }
 
 val default_cfg : dir:string -> cfg

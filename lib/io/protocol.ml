@@ -37,6 +37,16 @@ let request_kind = function
   | Ping -> "ping"
   | Shutdown -> "shutdown"
 
+(* Reads carry no state and [Load_design] is a full-state put (applying
+   it twice equals applying it once), so a blind re-send cannot change
+   the outcome.  [Legalize] and [Eco] advance session state from
+   wherever it currently is — and the server journals and applies them
+   before replying — so a lost reply leaves their effect unknown and a
+   re-send could apply them twice. *)
+let request_resend_safe = function
+  | Load_design _ | Get_placement _ | Stats | Ping | Shutdown -> true
+  | Legalize _ | Eco _ -> false
+
 type err = { code : string; detail : string }
 
 type reply =

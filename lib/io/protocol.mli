@@ -59,6 +59,15 @@ type request =
 val request_kind : request -> string
 (** The ["req"] tag, for logging and telemetry labels. *)
 
+val request_resend_safe : request -> bool
+(** Whether a client may blindly re-send this request after its
+    connection died with the reply unread.  Reads ([Get_placement],
+    [Stats], [Ping]) carry no state, [Shutdown] is idempotent, and
+    [Load_design] is a full-state put — applying it twice equals once.
+    [Legalize] and [Eco] are [false]: the server journals and applies
+    them {e before} replying, so a lost reply means the mutation may
+    already be durable and a re-send could apply it a second time. *)
+
 type err = { code : string; detail : string }
 (** Stable codes include: ["bad-json"], ["bad-request"],
     ["unknown-request"], ["unknown-session"], ["parse-error"],

@@ -38,6 +38,10 @@ let connect_fd ~retries ~backoff_ms path =
   go 0
 
 let connect ?max_frame ?(retries = 0) ?(backoff_ms = 50) path =
+  (* A daemon that dies mid-call turns our next write into EPIPE; that
+     must surface as [Conn_lost], not a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let fd = connect_fd ~retries ~backoff_ms path in
   {
     path;
@@ -109,12 +113,23 @@ let call t req =
     | Ok resp -> resp
     | Error msg ->
       if n >= t.retries then failwith msg
+      else if not (Protocol.request_resend_safe req) then
+        (* The daemon journals and applies a mutation BEFORE it writes
+           the reply, so a connection that died with the reply unread
+           may have left the request durably applied — recovery will
+           replay it, and re-sending would apply it a second time.
+           Fail with the state unknown instead of silently diverging. *)
+        failwith
+          (Printf.sprintf
+             "%s; %s not re-sent: the daemon may have applied and \
+              journaled it before the reply was lost (state unknown); \
+              re-read the session state before retrying"
+             msg
+             (Protocol.request_kind req))
       else begin
         (* The daemon may be restarting (crash recovery); reconnect and
-           re-send.  Safe under the daemon's journaling contract: a
-           request whose reply never arrived was either never received
-           or died before its journal record completed — unapplied
-           either way. *)
+           re-send — this request is read-only or a full-state put, so a
+           duplicate delivery cannot change the outcome. *)
         t.retries_used <- t.retries_used + 1;
         sleep_ms (backoff_delay ~backoff_ms:t.backoff_ms n);
         (match reconnect t with

@@ -15,16 +15,24 @@
 
     - {b connect/reconnect failures} — a daemon mid-restart (crash
       recovery, deploy) comes back on the same socket path, so a refused
-      connect is retried, and a connection that dies mid-call is
-      re-established and the request re-sent.  Re-sending is safe under
-      the daemon's journaling contract: a request whose reply never
-      arrived was either never received or crashed before its journal
-      record completed, so it was not applied.
+      connect is retried.  A connection that dies {e mid-call} is
+      re-established and the request re-sent only when the request is
+      resend-safe ({!Tdf_io.Protocol.request_resend_safe}: reads,
+      [ping], [shutdown], and [load-design] as a full-state put).  A
+      [legalize] or [eco] whose reply was lost is {e never} re-sent
+      automatically: the daemon journals and applies mutations before
+      replying, so the request may already be durably applied and a
+      blind re-send could apply it twice.  {!call} then raises [Failure]
+      with a "state unknown" message — re-read the session (e.g.
+      [get-placement]) before deciding to retry.
     - {b ["overloaded"] replies} — the server shed the request before
-      executing it; re-sending after a backoff is always safe.
+      executing it; re-sending after a backoff is always safe, mutating
+      or not.
 
     Retries performed are surfaced via {!retries_used} and in the replay
-    {!Trace.summary}. *)
+    {!Trace.summary}.  {!connect} sets SIGPIPE to ignore so a daemon
+    that vanishes mid-write surfaces as a typed failure, not a killed
+    process. *)
 
 type t
 

@@ -34,12 +34,28 @@
     loses at most the requests that never got a reply: a torn tail from
     a mid-append crash is truncated (and reported), never fatal.
 
+    Replies are written only {e after} the journal append, so a mutation
+    whose reply was lost may nevertheless be durably applied — which is
+    why the client ({!Client}) never auto-resends [legalize]/[eco] after
+    a dead connection ({!Tdf_io.Protocol.request_resend_safe}).
+    Budget-capped mutations are the one thing command-replay cannot
+    promise to reproduce (wall-clock clipping), so they are followed by
+    an immediate session snapshot and never need replay; if a crash
+    lands in the append-to-snapshot sliver, a drift on that {e final}
+    wal record is tolerated (counted as
+    ["serve.recovery.tolerated_drift"]) instead of bricking every
+    restart.
+
     {2 Overload control}
 
     [max_pending] bounds the total frames queued for execution across
     all connections; beyond it a frame is shed at enqueue time with a
     typed ["overloaded"] error reply (still delivered in request order,
-    so pipelined clients stay correlated).  [deadline_ms] caps every
+    so pipelined clients stay correlated).  [max_conn_queue] bounds one
+    connection's queue {e including} shed markers — a client that
+    ignores the backpressure and keeps streaming gets one typed
+    ["queue-overflow"] error and its connection closed, so overload
+    bounds memory, not just executable work.  [deadline_ms] caps every
     request budget, explicit or defaulted, so no single request can hold
     the event loop past the cap ({!Tdf_util.Budget} exhaustion degrades
     into a best-effort result, never a hang).  [idle_timeout_s] reaps
@@ -54,7 +70,8 @@
 
     Telemetry (when a sink is installed): counters ["serve.requests"],
     ["serve.errors"], ["serve.cache.hit"/"miss"/"evict"], ["serve.shed"],
-    ["serve.reaped"], ["serve.recoveries"], ["journal.appends"] /
+    ["serve.reaped"], ["serve.conn_overflow"], ["serve.recoveries"],
+    ["serve.recovery.tolerated_drift"], ["journal.appends"] /
     ["journal.snapshots"] / ["journal.compactions"] /
     ["journal.truncated_tails"], observations ["serve.request_ms"] and
     ["serve.queue_depth"], plus everything the underlying engines already
@@ -77,6 +94,11 @@ type cfg = {
   max_pending : int;
       (** global bound on frames queued for execution; beyond it requests
           are shed with an ["overloaded"] reply (default 64) *)
+  max_conn_queue : int;
+      (** per-connection bound on queued frames, shed markers included;
+          beyond it the connection gets one typed ["queue-overflow"]
+          error and is closed, dropping whatever it had queued
+          (default 256) *)
   idle_timeout_s : float;
       (** reap connections idle longer than this; [0.] disables
           (default) *)
@@ -109,8 +131,12 @@ type recovery_error =
       got : string;
     }
       (** replay produced a placement whose digest differs from the
-          journaled one — determinism was violated (or a wall-clock
-          budget clipped the replay differently; see DESIGN.md §9) *)
+          journaled one — determinism was violated.  A wall-clock budget
+          that clipped the replay differently cannot normally reach
+          here: budget-capped mutations snapshot immediately after their
+          append (skipping replay), and a budget drift on the final,
+          never-acknowledged wal record is tolerated rather than raised
+          (see DESIGN.md §9) *)
 
 exception Recovery_error of recovery_error
 

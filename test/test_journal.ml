@@ -175,6 +175,27 @@ let test_snapshot_compact () =
   check "snapshot deleted" true (Journal.snapshot_sessions t = []);
   Journal.close t
 
+(* [max_record] caps wal appends, not snapshots: a session whose blob
+   outgrows it must still snapshot, compact and recover — the old
+   behavior silently dropped the snapshot on restart, losing the
+   session with no error. *)
+let test_oversized_snapshot_recovered () =
+  let cfg =
+    { (Journal.default_cfg ~dir:(tmpdir "snapbig")) with Journal.max_record = 64 }
+  in
+  let t, _ = open_exn cfg in
+  let blob = String.init 1000 (fun i -> Char.chr (33 + (i mod 90))) in
+  Journal.save_snapshot t ~session:"big" blob;
+  Journal.compact t;
+  Journal.close t;
+  let t, r = open_exn cfg in
+  check_int "no snapshot dropped" 0 r.Journal.dropped_snapshots;
+  (match r.Journal.snapshots with
+  | [ { Journal.snap_session = "big"; blob = b; _ } ] ->
+    check_str "blob intact" blob b
+  | _ -> Alcotest.fail "oversized snapshot lost on reopen");
+  Journal.close t
+
 let test_snapshot_corruption_dropped () =
   let cfg = Journal.default_cfg ~dir:(tmpdir "snapcorrupt") in
   let t, _ = open_exn cfg in
@@ -297,6 +318,44 @@ let test_snapshot_plus_suffix_recovery () =
           (r.Server.replayed_records <= 1)
       | None -> Alcotest.fail "no recovery stats");
       check_str "snapshot+suffix = pre-crash bytes" before
+        (placement_text server ~session:"s"))
+
+(* A budget-capped mutation snapshots immediately after its journal
+   append, so recovery restores it from the snapshot and never
+   command-replays it — the one op whose replay is timing-dependent
+   (wall-clock clipping) must not be able to brick a restart. *)
+let test_budget_capped_mutation_never_replays () =
+  let dir = tmpdir "budgetsnap" in
+  let server = Server.create (journaled_cfg "bud1" dir) in
+  expect_ok "load" (load server ~session:"s" (fixture 83));
+  let eco_budgeted =
+    Server.handle server
+      (Protocol.Eco
+         {
+           session = "s";
+           delta = Protocol.Text "move 6 25 15 0\n";
+           radius = None;
+           max_widenings = None;
+           budget_ms = Some 600_000;
+           jobs = None;
+           want_placement = false;
+         })
+  in
+  expect_ok "budgeted eco" eco_budgeted;
+  let before = placement_text server ~session:"s" in
+  Server.crash server;
+  let server = Server.create (journaled_cfg "bud2" dir) in
+  Fun.protect
+    ~finally:(fun () -> Server.close server)
+    (fun () ->
+      (match Server.recovery server with
+      | Some r ->
+        check_int "session recovered" 1 r.Server.recovered_sessions;
+        (* The snapshot covers both the load and the budgeted eco:
+           nothing is command-replayed. *)
+        check_int "no command replay needed" 0 r.Server.replayed_records
+      | None -> Alcotest.fail "no recovery stats");
+      check_str "budgeted state recovered byte-identically" before
         (placement_text server ~session:"s"))
 
 (* Tamper with a journaled digest: replay then disagrees with the record
@@ -431,6 +490,10 @@ let suite =
       test_snapshot_compact;
     Alcotest.test_case "corrupt snapshot dropped, tmp files cleaned" `Quick
       test_snapshot_corruption_dropped;
+    Alcotest.test_case "oversized snapshot recovers (max_record is a wal cap)"
+      `Quick test_oversized_snapshot_recovered;
+    Alcotest.test_case "budget-capped mutation snapshots, never replays"
+      `Quick test_budget_capped_mutation_never_replays;
     Alcotest.test_case "crash recovery restores byte-identical state" `Quick
       test_crash_recovery_byte_identical;
     Alcotest.test_case "snapshot + journal suffix recover together" `Quick

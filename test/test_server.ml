@@ -9,6 +9,7 @@ module Protocol = Tdf_io.Protocol
 module Text = Tdf_io.Text
 module Delta = Tdf_io.Delta
 module Server = Tdf_server.Server
+module Client = Tdf_server.Client
 module Eco = Tdf_incremental.Eco
 module Flow3d = Tdf_legalizer.Flow3d
 module Legality = Tdf_metrics.Legality
@@ -532,6 +533,144 @@ let test_overload_shed () =
           check "alive after shedding" true
             (call server fd dec Protocol.Ping = Ok Protocol.Pong)))
 
+(* A client that ignores "overloaded" backpressure and keeps streaming
+   must not grow its queue without bound: past max_conn_queue the
+   connection gets one typed "queue-overflow" error and is closed,
+   dropping what it had queued. *)
+let test_conn_queue_overflow () =
+  with_server
+    ~tweak:(fun c -> { c with Server.max_pending = 1; max_conn_queue = 4 })
+    "connoverflow"
+    (fun server cfg ->
+      let fd = connect cfg.Server.socket_path in
+      let dec = Frame.decoder () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* 8 frames in one write: 1 executable + 3 shed markers fill
+             the per-connection queue, the 5th frame overflows it. *)
+          let burst =
+            String.concat ""
+              (List.init 8 (fun _ ->
+                   Frame.encode (Protocol.request_to_string Protocol.Ping)))
+          in
+          let b = Bytes.of_string burst in
+          ignore (Unix.write fd b 0 (Bytes.length b));
+          (match recv server fd dec with
+          | Some payload -> (
+            match Protocol.response_of_string payload with
+            | Ok r ->
+              Alcotest.(check string) "typed overflow error" "queue-overflow"
+                (err_code r)
+            | Error e -> Alcotest.failf "unparseable reply: %s" e)
+          | None -> Alcotest.fail "connection closed without a typed error");
+          (* Then EOF: the queued work was dropped with the connection. *)
+          (match recv server fd dec with
+          | None -> ()
+          | Some _ -> Alcotest.fail "connection survived the queue overflow");
+          (* The server itself keeps serving new connections. *)
+          let fd2 = connect cfg.Server.socket_path in
+          let dec2 = Frame.decoder () in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd2 with Unix.Unix_error _ -> ())
+            (fun () ->
+              check "alive after overflow" true
+                (call server fd2 dec2 Protocol.Ping = Ok Protocol.Pong))))
+
+(* The client must never blindly re-send a mutating request whose reply
+   was lost: the daemon journals and applies before replying, so the
+   mutation may already be durable and a re-send could apply it twice.
+   Resend-safe requests (ping, reads) do attempt the reconnect. *)
+let test_client_resend_safety () =
+  check "reads/ping/load are resend-safe, legalize/eco are not" true
+    (Protocol.request_resend_safe Protocol.Ping
+    && Protocol.request_resend_safe Protocol.Stats
+    && Protocol.request_resend_safe (Protocol.Get_placement { session = "s" })
+    && Protocol.request_resend_safe Protocol.Shutdown
+    && Protocol.request_resend_safe
+         (Protocol.Load_design
+            { session = "s"; design = Protocol.Text ""; placement = None })
+    && (not
+          (Protocol.request_resend_safe
+             (Protocol.Legalize
+                {
+                  session = "s";
+                  budget_ms = None;
+                  jobs = None;
+                  want_placement = false;
+                })))
+    && not
+         (Protocol.request_resend_safe
+            (Protocol.Eco
+               {
+                 session = "s";
+                 delta = Protocol.Text "";
+                 radius = None;
+                 max_widenings = None;
+                 budget_ms = None;
+                 jobs = None;
+                 want_placement = false;
+               })));
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (* A fake daemon that accepts and immediately drops the connection —
+     the reply is lost and the client cannot know whether the request
+     was applied. *)
+  let path = sock_path "resend" in
+  if Sys.file_exists path then Sys.remove path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 4;
+  let dead_conn () =
+    let c = Client.connect ~retries:2 ~backoff_ms:1 path in
+    let accepted, _ = Unix.accept listener in
+    Unix.close accepted;
+    c
+  in
+  let eco_req =
+    Protocol.Eco
+      {
+        session = "s";
+        delta = Protocol.Text "move 0 1 1 0\n";
+        radius = None;
+        max_widenings = None;
+        budget_ms = None;
+        jobs = None;
+        want_placement = false;
+      }
+  in
+  let c_eco = dead_conn () in
+  let c_ping = dead_conn () in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c_eco;
+      Client.close c_ping;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* Mutating: retry budget available, but the client must refuse to
+         re-send and name the unknown state. *)
+      (match Client.call c_eco eco_req with
+      | _ -> Alcotest.fail "eco succeeded against a dead connection"
+      | exception Failure msg ->
+        check "eco failure names the unknown state" true
+          (contains msg "state unknown");
+        check "eco did not burn reconnect retries" true
+          (Client.retries_used c_eco = 0));
+      (* Resend-safe: with nothing listening any more, the client must at
+         least have attempted the reconnect. *)
+      Unix.close listener;
+      Sys.remove path;
+      match Client.call c_ping Protocol.Ping with
+      | _ -> Alcotest.fail "ping succeeded against a dead connection"
+      | exception Failure msg ->
+        check "ping attempted a re-send via reconnect" true
+          (contains msg "reconnect failed"))
+
 (* A stale socket file from a SIGKILLed daemon is probed and removed; a
    live daemon's socket is not stolen; a non-socket file is never
    deleted. *)
@@ -738,6 +877,10 @@ let suite =
       test_socket_bad_frame;
     Alcotest.test_case "overload: burst past max_pending is shed typed" `Quick
       test_overload_shed;
+    Alcotest.test_case "overload: per-connection queue cap closes abusers"
+      `Quick test_conn_queue_overflow;
+    Alcotest.test_case "client never re-sends a mutation with a lost reply"
+      `Quick test_client_resend_safety;
     Alcotest.test_case "stale socket reclaimed, live and non-socket refused"
       `Quick test_stale_socket_handling;
     Alcotest.test_case "idle connections are reaped" `Quick test_idle_reap;

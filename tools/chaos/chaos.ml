@@ -5,11 +5,15 @@
    against an uninterrupted reference daemon.  Replies must be
    byte-identical (modulo the wall-clock timing field) or the run fails.
 
-   The kill model matches the daemon's at-most-once contract: external
-   kills land between requests (the daemon is idle), and mid-request
-   kills go through the failpoint, which tears the journal record so the
-   in-flight request is provably unapplied — re-sending it after the
-   restart is safe either way.
+   The kill model makes the harness's own re-sends provably safe:
+   external kills land between requests (the daemon is idle, everything
+   acknowledged is journaled), and mid-request kills go through the
+   failpoint, which tears the journal record so the in-flight request is
+   provably unapplied.  A kill in the general unsafe window — after a
+   mutation's journal append but before its reply — is exactly why
+   Client refuses to auto-resend legalize/eco (request_resend_safe);
+   the harness never needs that window because it re-sends only
+   requests its kill plan proves unapplied.
 
    Usage: chaos.exe [--seed N] [--kills K] [--ecos N] [--scale S]
                     [--workdir DIR]                                   *)
