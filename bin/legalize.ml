@@ -34,6 +34,38 @@ let jobs_term =
   in
   Term.(const (Option.iter Tdf_par.set_jobs) $ jobs)
 
+(* Same contract as --jobs: a wall-clock knob with bit-identical results
+   at every setting, defaulting to TDFLOW_TILES then 1.  Unlike --jobs
+   (whose pool silently clamps), a non-positive tile count is a spelled
+   request for zero work and is rejected up front. *)
+let tiles_term =
+  let doc =
+    "Number of spatial tiles the flow passes are sharded into: each tile \
+     speculates on a masked grid clone over the worker pool and the \
+     sequential commit loop reuses every proposal it can prove \
+     unchanged.  Defaults to $(b,TDFLOW_TILES) or 1 (untiled).  The \
+     placement is byte-identical at every $(b,--tiles) and $(b,--jobs) \
+     combination."
+  in
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | Some n ->
+        Error (`Msg (Printf.sprintf "tile count must be positive, got %d" n))
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let tiles =
+    Arg.(value & opt (some pos_int) None & info [ "tiles" ] ~docv:"N" ~doc)
+  in
+  Term.(const (Option.iter Tdf_legalizer.Tile.set_tiles) $ tiles)
+
+(* run/eco/serve take both knobs; the remaining commands never enter a
+   flow pass, so they only carry --jobs. *)
+let knobs_term = Term.(const (fun () () -> ()) $ jobs_term $ tiles_term)
+
 (* ---- telemetry ----------------------------------------------------- *)
 
 type telemetry_opts = {
@@ -415,7 +447,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Legalize a design with one method.")
     Term.(
-      const run $ jobs_term $ design_arg $ meth $ output $ alpha $ refine
+      const run $ knobs_term $ design_arg $ meth $ output $ alpha $ refine
       $ strict $ repair $ budget_ms $ no_fallback $ telemetry_term)
 
 (* ---- check -------------------------------------------------------- *)
@@ -674,7 +706,7 @@ let eco_cmd =
          "Incrementally re-legalize a previously legal placement after a \
           small ECO delta, touching only a dirty region of the grid.")
     Term.(
-      const run $ jobs_term $ design_arg $ placement $ delta $ output
+      const run $ knobs_term $ design_arg $ placement $ delta $ output
       $ out_design $ radius $ max_widenings $ no_fallback $ budget_ms
       $ telemetry_term)
 
@@ -875,7 +907,8 @@ let serve_cmd =
     let quit _ = stop := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
-    Printf.printf "tdflow serve: listening on %s\n%!" socket;
+    Printf.printf "tdflow serve: listening on %s (jobs %d, tiles %d)\n%!"
+      socket (Tdf_par.jobs ()) (Tdf_legalizer.Tile.tiles ());
     while (not !stop) && Tdf_server.Server.step server do
       ()
     done;
@@ -900,7 +933,7 @@ let serve_cmd =
           crashes: every mutating request is journaled before its reply \
           and replayed on restart.")
     Term.(
-      const run $ jobs_term $ socket_arg $ max_sessions $ max_frame
+      const run $ knobs_term $ socket_arg $ max_sessions $ max_frame
       $ budget_ms $ journal_dir $ fsync $ snapshot_every $ max_pending
       $ max_conn_queue $ idle_timeout $ deadline_ms $ arm_failpoint
       $ telemetry_term)
@@ -951,7 +984,20 @@ let client_cmd =
       & info [ "backoff-ms" ] ~docv:"MS"
           ~doc:"Base retry delay; doubles per attempt, capped at 64x.")
   in
-  let run socket trace_path out_json require_legal verbose retries backoff_ms =
+  let dump_placements =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-placements" ] ~docv:"FILE"
+          ~doc:
+            "Concatenate every placement text carried by a reply \
+             (legalize/eco with \"placement\":true and get-placement), in \
+             reply order, into $(docv) — two replay runs are then \
+             byte-comparable with $(b,cmp), the determinism check CI \
+             runs across --jobs and --tiles settings.")
+  in
+  let run socket trace_path out_json require_legal verbose retries backoff_ms
+      dump_placements =
     let reqs =
       match Tdf_server.Client.Trace.load trace_path with
       | Ok reqs -> reqs
@@ -1002,6 +1048,21 @@ let client_cmd =
         close_out oc;
         Printf.printf "wrote %s\n" path)
       out_json;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        List.iter
+          (fun (o : Tdf_server.Client.Trace.outcome) ->
+            match o.response with
+            | Ok (Tdf_io.Protocol.Legalized { placement = Some p; _ })
+            | Ok (Tdf_io.Protocol.Eco_applied { placement = Some p; _ })
+            | Ok (Tdf_io.Protocol.Placement_text { placement = p; _ }) ->
+              output_string oc p
+            | _ -> ())
+          summary.Tdf_server.Client.Trace.outcomes;
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      dump_placements;
     if summary.Tdf_server.Client.Trace.errors > 0 then exit 1;
     if require_legal && !illegal > 0 then begin
       Printf.eprintf "legalize: %d replies reported illegal placements\n"
@@ -1016,7 +1077,7 @@ let client_cmd =
           daemon and summarize the latency distribution.")
     Term.(
       const run $ socket_arg $ trace $ out_json $ require_legal $ verbose
-      $ retries $ backoff_ms)
+      $ retries $ backoff_ms $ dump_placements)
 
 (* ---- version ------------------------------------------------------- *)
 

@@ -474,14 +474,19 @@ let cell_bins t cell = List.map fst t.cell_frags.(cell)
 (* Breadth-first ball around the seed bins over the full adjacency
    (horizontal, vertical and D2D edges alike): the flow search moves cells
    along exactly these edges, so a radius-k ball bounds where k relay hops
-   can reach. *)
-let dirty_region t ~seeds ~radius =
+   can reach.  With [within], the walk never leaves the allowed set — the
+   halo query of the tiled legalizer, where a tile's reach is additionally
+   confined to an ECO dirty region. *)
+let region ?within t ~seeds ~radius =
   let n = Array.length t.bins in
+  let allowed bid =
+    match within with None -> true | Some m -> m.(bid)
+  in
   let dist = Array.make n (-1) in
   let q = Queue.create () in
   List.iter
     (fun bid ->
-      if bid >= 0 && bid < n && dist.(bid) < 0 then begin
+      if bid >= 0 && bid < n && dist.(bid) < 0 && allowed bid then begin
         dist.(bid) <- 0;
         Queue.add bid q
       end)
@@ -491,13 +496,35 @@ let dirty_region t ~seeds ~radius =
     if dist.(u) < radius then
       Array.iter
         (fun (e : edge) ->
-          if dist.(e.dst) < 0 then begin
+          if dist.(e.dst) < 0 && allowed e.dst then begin
             dist.(e.dst) <- dist.(u) + 1;
             Queue.add e.dst q
           end)
         t.edges.(u)
   done;
   Array.map (fun d -> d >= 0) dist
+
+let dirty_region t ~seeds ~radius = region t ~seeds ~radius
+
+(* Deep copy of the mutable assignment state; the static structure
+   (design, segments, adjacency, row index, die capacities) is shared.
+   The copy and the original then evolve independently — the speculation
+   substrate of the tiled legalizer. *)
+let clone t =
+  {
+    t with
+    bins =
+      Array.map
+        (fun b ->
+          {
+            b with
+            frags = List.map (fun f -> { f with rho = f.rho }) b.frags;
+          })
+        t.bins;
+    cell_frags = Array.copy t.cell_frags;
+    cell_seg = Array.copy t.cell_seg;
+    die_used = Array.copy t.die_used;
+  }
 
 let frag_rho_in t ~cell b =
   match List.assoc_opt b.id t.cell_frags.(cell) with Some r -> r | None -> 0.

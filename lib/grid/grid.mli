@@ -152,12 +152,26 @@ val cell_bins : t -> int -> int list
 (** Ids of the bins currently holding fragments of the cell (empty when
     unassigned). *)
 
+val region :
+  ?within:bool array -> t -> seeds:int list -> radius:int -> bool array
+(** [region t ~seeds ~radius] marks every bin within [radius] BFS hops of
+    a seed bin, walking all edge kinds.  With [within] the walk is
+    confined to allowed bins (seeds outside it are dropped) — the
+    tile-plus-halo query of the tiled legalizer, where a tile's reach must
+    also stay inside an ECO dirty region. *)
+
 val dirty_region : t -> seeds:int list -> radius:int -> bool array
 (** [dirty_region t ~seeds ~radius] marks every bin within [radius] BFS
     hops of a seed bin, walking all edge kinds (horizontal, vertical,
     D2D).  Out-of-range seed ids are ignored.  The result indexes by bin
     id and is the movement mask of the incremental (ECO) legalizer: a
     radius-k ball bounds everything k relay hops can touch. *)
+
+val clone : t -> t
+(** Deep copy of the mutable assignment state ([frags]/[used] of every
+    bin, [cell_frags], [cell_seg], [die_used]); the static structure is
+    shared with the original.  Mutations on the clone never touch the
+    original — the speculation substrate of the tiled legalizer. *)
 
 val frag_rho_in : t -> cell:int -> bin -> float
 (** Fraction of [cell] currently in [bin] (0 when absent). *)

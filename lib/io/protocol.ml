@@ -7,11 +7,13 @@ type request =
       session : string;
       design : source;
       placement : source option;
+      tiles : int option;
     }
   | Legalize of {
       session : string;
       budget_ms : int option;
       jobs : int option;
+      tiles : int option;
       want_placement : bool;
     }
   | Eco of {
@@ -21,6 +23,7 @@ type request =
       max_widenings : int option;
       budget_ms : int option;
       jobs : int option;
+      tiles : int option;
       want_placement : bool;
     }
   | Get_placement of { session : string }
@@ -88,7 +91,7 @@ let source_fields ~path_key ~text_key = function
   | Text t -> [ (text_key, Json.String t) ]
 
 let request_to_json = function
-  | Load_design { session; design; placement } ->
+  | Load_design { session; design; placement; tiles } ->
     Json.Obj
       ([
          ("req", Json.String "load-design"); ("session", Json.String session);
@@ -98,15 +101,26 @@ let request_to_json = function
           ~some:
             (source_fields ~path_key:"placement_path"
                ~text_key:"placement_text")
-          placement)
-  | Legalize { session; budget_ms; jobs; want_placement } ->
+          placement
+      @ opt "tiles" (fun v -> Json.Int v) tiles)
+  | Legalize { session; budget_ms; jobs; tiles; want_placement } ->
     Json.Obj
       ([ ("req", Json.String "legalize"); ("session", Json.String session) ]
       @ opt "budget_ms" (fun v -> Json.Int v) budget_ms
       @ opt "jobs" (fun v -> Json.Int v) jobs
+      @ opt "tiles" (fun v -> Json.Int v) tiles
       @ if want_placement then [ ("placement", Json.Bool true) ] else [])
-  | Eco { session; delta; radius; max_widenings; budget_ms; jobs; want_placement }
-    ->
+  | Eco
+      {
+        session;
+        delta;
+        radius;
+        max_widenings;
+        budget_ms;
+        jobs;
+        tiles;
+        want_placement;
+      } ->
     Json.Obj
       ([ ("req", Json.String "eco"); ("session", Json.String session) ]
       @ source_fields ~path_key:"delta_path" ~text_key:"delta" delta
@@ -114,6 +128,7 @@ let request_to_json = function
       @ opt "max_widenings" (fun v -> Json.Int v) max_widenings
       @ opt "budget_ms" (fun v -> Json.Int v) budget_ms
       @ opt "jobs" (fun v -> Json.Int v) jobs
+      @ opt "tiles" (fun v -> Json.Int v) tiles
       @ if want_placement then [ ("placement", Json.Bool true) ] else [])
   | Get_placement { session } ->
     Json.Obj
@@ -184,6 +199,7 @@ let request_of_json j =
                placement =
                  opt_source ~path_key:"placement_path"
                    ~text_key:"placement_text" j;
+               tiles = opt_int "tiles" j;
              })
       | "legalize" ->
         Ok
@@ -192,6 +208,7 @@ let request_of_json j =
                session = session ();
                budget_ms = opt_int "budget_ms" j;
                jobs = opt_int "jobs" j;
+               tiles = opt_int "tiles" j;
                want_placement = opt_bool "placement" j;
              })
       | "eco" ->
@@ -204,6 +221,7 @@ let request_of_json j =
                max_widenings = opt_int "max_widenings" j;
                budget_ms = opt_int "budget_ms" j;
                jobs = opt_int "jobs" j;
+               tiles = opt_int "tiles" j;
                want_placement = opt_bool "placement" j;
              })
       | "get-placement" -> Ok (Get_placement { session = session () })

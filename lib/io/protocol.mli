@@ -11,10 +11,12 @@
     {v
     {"req":"load-design","session":S,
      "design_path":P | "design_text":T,
-     "placement_path":P? | "placement_text":T?}
-    {"req":"legalize","session":S,"budget_ms":N?,"jobs":N?,"placement":B?}
+     "placement_path":P? | "placement_text":T?,"tiles":N?}
+    {"req":"legalize","session":S,"budget_ms":N?,"jobs":N?,"tiles":N?,
+     "placement":B?}
     {"req":"eco","session":S,"delta":T | "delta_path":P,
-     "radius":N?,"max_widenings":N?,"budget_ms":N?,"jobs":N?,"placement":B?}
+     "radius":N?,"max_widenings":N?,"budget_ms":N?,"jobs":N?,"tiles":N?,
+     "placement":B?}
     {"req":"get-placement","session":S}
     {"req":"stats"}
     {"req":"ping"}
@@ -35,11 +37,15 @@ type request =
       session : string;
       design : source;
       placement : source option;
+      tiles : int option;
+          (** session-wide tile count for every flow pass; omitted =
+              the server's process-wide knob *)
     }
   | Legalize of {
       session : string;
       budget_ms : int option;
       jobs : int option;
+      tiles : int option;  (** per-request override of the session tiling *)
       want_placement : bool;
     }
   | Eco of {
@@ -49,6 +55,7 @@ type request =
       max_widenings : int option;
       budget_ms : int option;
       jobs : int option;
+      tiles : int option;  (** per-request override of the session tiling *)
       want_placement : bool;
     }
   | Get_placement of { session : string }

@@ -50,6 +50,24 @@ let cached_cur_disp grid st cell =
 
 let expansions st = st.pops
 
+(* Read-set recorder for speculative (tiled) searches: which bins and dies
+   the search consulted, and whether the mask pruned an expansion that a
+   reference mask (the non-tile mask the authoritative pass runs under)
+   would have allowed.  A blocked search may differ from the authoritative
+   one, so its result is unusable as a speculation. *)
+type probe = {
+  mutable pr_bins : int list;  (** bins whose state the search read *)
+  mutable pr_utils : (int * float * bool) list;
+      (** utilization-cap evaluations: (die, inflow, outcome) for every
+          [die_used] comparison a D2D selection performed *)
+  mutable pr_blocked : bool;
+  pr_ref : bool array option;
+      (** the mask the authoritative search runs under; [None] = unmasked *)
+}
+
+let probe ?ref_mask () =
+  { pr_bins = []; pr_utils = []; pr_blocked = false; pr_ref = ref_mask }
+
 (* Pruning bound of Alg. 1 line 13.  The paper writes (1 + α)·cost(p_best);
    because iterative re-legalization makes costs near zero or negative, we
    use the equivalent additive form best + α·(|best| + h_r) so the slack
@@ -64,11 +82,34 @@ let bound cfg grid src best =
     best +. (cfg.Config.alpha *. (Float.abs best +. float_of_int h_r))
   end
 
-let search ?mask cfg grid st ~src =
+let search ?mask ?probe:pr cfg grid st ~src =
   Tdf_telemetry.span "flow3d.augment" @@ fun () ->
   st.epoch <- st.epoch + 1;
   st.pops <- 0;
   let epoch = st.epoch in
+  let read_bin bid =
+    match pr with Some p -> p.pr_bins <- bid :: p.pr_bins | None -> ()
+  in
+  let util_probe =
+    match pr with
+    | Some p ->
+      Some
+        (fun ~die ~inflow ~ok -> p.pr_utils <- (die, inflow, ok) :: p.pr_utils)
+    | None -> None
+  in
+  (* A masked-out expansion the reference mask would have allowed means
+     this search saw less of the grid than the authoritative one will. *)
+  let note_pruned dst =
+    match pr with
+    | Some p ->
+      if
+        match p.pr_ref with
+        | None -> true
+        | Some ref_mask -> ref_mask.(dst)
+      then p.pr_blocked <- true
+    | None -> ()
+  in
+  read_bin src.Grid.id;
   (* One augmentation pushes at most cap(s): a single path can only relay
      what the bins along it can absorb or already hold, so large supplies
      are shed in successive chunks (Alg. 2 re-queues the bin while
@@ -99,21 +140,23 @@ let search ?mask cfg grid st ~src =
           if need > 1e-9 then
             Array.iter
               (fun (e : Grid.edge) ->
-                let allowed =
+                let kind_ok =
                   match e.Grid.kind with
                   | Grid.D2d -> cfg.Config.d2d_edges
                   | Grid.Horizontal | Grid.Vertical -> true
                 in
-                let allowed =
-                  allowed
-                  && (match mask with None -> true | Some m -> m.(e.Grid.dst))
+                let mask_ok =
+                  match mask with None -> true | Some m -> m.(e.Grid.dst)
                 in
-                if allowed && st.visited.(e.Grid.dst) <> epoch then begin
+                if kind_ok && not mask_ok then note_pruned e.Grid.dst;
+                if kind_ok && mask_ok && st.visited.(e.Grid.dst) <> epoch
+                then begin
                   let v = grid.Grid.bins.(e.Grid.dst) in
                   incr sels;
+                  read_bin v.Grid.id;
                   match
-                    Select.select ~cur:(cached_cur_disp grid st) cfg grid ~src:u
-                      ~dst:v ~kind:e.Grid.kind ~need
+                    Select.select ~cur:(cached_cur_disp grid st) ?util_probe cfg
+                      grid ~src:u ~dst:v ~kind:e.Grid.kind ~need
                   with
                   | None -> ()
                   | Some sel ->

@@ -26,8 +26,36 @@ type state
 
 val create_state : Grid.t -> state
 
+type probe = {
+  mutable pr_bins : int list;  (** bins whose state the search read *)
+  mutable pr_utils : (int * float * bool) list;
+      (** utilization-cap evaluations ((die, inflow, outcome)) D2D
+          selections performed — the only die state a search reads, kept
+          re-evaluable against drifted [die_used] totals *)
+  mutable pr_blocked : bool;
+      (** the mask pruned an expansion the reference mask allowed *)
+  pr_ref : bool array option;
+}
+(** Read-set recorder for speculative (tiled) searches — see {!probe}. *)
+
+val probe : ?ref_mask:bool array -> unit -> probe
+(** Fresh recorder.  Passed to {!search} it collects every bin whose
+    mutable state the search consulted (plus every die-utilization
+    comparison a D2D selection evaluated), and flags [pr_blocked] when
+    the search mask pruned an expansion that [ref_mask] (the mask the
+    authoritative pass runs under; [None] means unmasked) would have
+    allowed — a blocked search may return a different path than the
+    authoritative one, so its result must not be used as a
+    speculation. *)
+
 val search :
-  ?mask:bool array -> Config.t -> Grid.t -> state -> src:Grid.bin -> path option
+  ?mask:bool array ->
+  ?probe:probe ->
+  Config.t ->
+  Grid.t ->
+  state ->
+  src:Grid.bin ->
+  path option
 (** [search cfg grid st ~src] finds the cheapest augmenting path resolving
     the overflow of [src], or [None] when no reachable bin chain can absorb
     it.  [cfg.exhaustive] disables pruning and explores the whole reachable

@@ -15,10 +15,18 @@ val create_scratch : unit -> scratch
 val edge_kind : Grid.t -> src:Grid.bin -> dst:Grid.bin -> Grid.edge_kind
 (** Kind of the (existing) edge between two adjacent bins on a path. *)
 
-val realize : Config.t -> Grid.t -> scratch -> Augment.path -> int
+val realize :
+  ?pick_probe:(edge:int -> cell:int -> rho:float -> unit) ->
+  Config.t ->
+  Grid.t ->
+  scratch ->
+  Augment.path ->
+  int
 (** [realize cfg grid scratch path] executes the movements.  Selections are
     recomputed on the live grid with the flow targets recorded during the
     search; if intervening moves (a straddling cell pulled out by a
     downstream whole-cell move) reduced availability, the step moves what
     remains.  Returns the number of cells moved across dies (the #Move
-    statistic of Table V). *)
+    statistic of Table V).  [?pick_probe] observes every applied pick in
+    order — the commit fingerprint the tiled legalizer compares between
+    its speculative and authoritative realizations. *)

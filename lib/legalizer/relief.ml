@@ -41,5 +41,5 @@ let relieve ?mask cfg grid ~src =
   | Some (_, cell, b) ->
     Grid.move_whole grid ~cell ~dst:b;
     Tdf_telemetry.incr "flow3d.relief.moves";
-    true
-  | None -> false
+    Some (cell, b)
+  | None -> None

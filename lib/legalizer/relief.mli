@@ -11,10 +11,16 @@
 module Grid = Tdf_grid.Grid
 (** Canonical grid substrate (no local shim module). *)
 
-val relieve : ?mask:bool array -> Config.t -> Grid.t -> src:Grid.bin -> bool
+val relieve :
+  ?mask:bool array ->
+  Config.t ->
+  Grid.t ->
+  src:Grid.bin ->
+  (int * Grid.bin) option
 (** Move the cheapest movable cell of [src] into the nearest bin whose
     demand covers the cell's width (respecting the D2D configuration and
-    die utilization caps).  Returns false when no cell of [src] fits
-    anywhere.  [mask], when given, restricts destinations to bins [b] with
-    [mask.(b) = true] (the incremental legalizer's frozen-region
-    contract). *)
+    die utilization caps).  Returns the [(cell, destination)] taken so the
+    tiled commit loop can invalidate speculations reading the touched
+    region, or [None] when no cell of [src] fits anywhere.  [mask], when
+    given, restricts destinations to bins [b] with [mask.(b) = true] (the
+    incremental legalizer's frozen-region contract). *)

@@ -60,7 +60,7 @@ let unit_cost ?cur cfg grid ~cell ~dst ~kind =
 (* Callers batch "flow3d.select.calls" counting (one flush per search /
    realization) — a per-call [Telemetry.incr] here would emit millions of
    counter events into trace sinks on full-size runs. *)
-let select ?cur cfg grid ~src ~dst ~kind ~need =
+let select ?cur ?util_probe cfg grid ~src ~dst ~kind ~need =
   if need <= 0. then Some { picks = []; freed = 0.; inflow = 0.; sel_cost = 0. }
   else begin
     let design = grid.Grid.design in
@@ -156,9 +156,15 @@ let select ?cur cfg grid ~src ~dst ~kind ~need =
           ||
           let d = dst.Grid.die in
           let max_util = (Design.die design d).Tdf_netlist.Die.max_util in
-          grid.Grid.die_cap.(d) <= 0.
-          || (grid.Grid.die_used.(d) +. inflow) /. grid.Grid.die_cap.(d)
-             <= max_util
+          let ok =
+            grid.Grid.die_cap.(d) <= 0.
+            || (grid.Grid.die_used.(d) +. inflow) /. grid.Grid.die_cap.(d)
+               <= max_util
+          in
+          (match util_probe with
+          | Some f -> f ~die:d ~inflow ~ok
+          | None -> ());
+          ok
         in
         if util_ok then Some { picks; freed; inflow; sel_cost = cost } else None)
   end

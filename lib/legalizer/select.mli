@@ -45,6 +45,7 @@ val unit_cost :
 
 val select :
   ?cur:(int -> int) ->
+  ?util_probe:(die:int -> inflow:float -> ok:bool -> unit) ->
   Config.t ->
   Grid.t ->
   src:Grid.bin ->
@@ -58,4 +59,8 @@ val select :
     a D2D edge, when moving would exceed the destination die's utilization
     cap (§III-F).  [?cur] optionally overrides the D_c(u) lookup with a
     cached function — the search memoizes it per search epoch, since the
-    grid does not mutate while searching. *)
+    grid does not mutate while searching.  [?util_probe] observes every
+    evaluation of the utilization cap — the [die_used] comparison and its
+    outcome — so the tiled legalizer can later re-evaluate the same
+    comparison against drifted die totals (the only die state a selection
+    reads). *)

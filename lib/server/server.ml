@@ -6,6 +6,7 @@ module Delta = Tdf_io.Delta
 module Journal = Tdf_io.Journal
 module Json = Tdf_telemetry.Json
 module Eco = Tdf_incremental.Eco
+module Tile = Tdf_legalizer.Tile
 module Pipeline = Tdf_robust.Pipeline
 module Placement = Tdf_netlist.Placement
 module Design = Tdf_netlist.Design
@@ -162,14 +163,18 @@ let session_blob s =
   let design = Eco.Session.design s.sess in
   Json.to_string
     (Json.Obj
-       [
-         ("design", Json.String (Text.design_to_string design));
-         ( "placement",
-           Json.String
-             (Text.placement_to_string design (Eco.Session.placement s.sess))
-         );
-         ("digest", Json.String (Eco.Session.state_digest s.sess));
-       ])
+       ([
+          ("design", Json.String (Text.design_to_string design));
+          ( "placement",
+            Json.String
+              (Text.placement_to_string design (Eco.Session.placement s.sess))
+          );
+          ("digest", Json.String (Eco.Session.state_digest s.sess));
+        ]
+       @
+       match Eco.Session.tiles s.sess with
+       | Some k -> [ ("tiles", Json.Int k) ]
+       | None -> []))
 
 (* Snapshot every live session, then truncate the wal: from here on a
    recovery starts at the snapshots and replays nothing older.  Snapshots
@@ -370,6 +375,8 @@ let assert_placement_roundtrip design p =
 
 let set_jobs_opt = function Some j -> Tdf_par.set_jobs j | None -> ()
 
+let set_tiles_opt = function Some k -> Tile.set_tiles k | None -> ()
+
 (* The deadline caps every budget, including explicit per-request ones:
    with [deadline_ms] set no request can hold the single-threaded event
    loop hostage longer than the cap (budget exhaustion degrades into a
@@ -402,7 +409,7 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
   | Protocol.Shutdown ->
     t.stop <- true;
     Ok Protocol.Shutting_down
-  | Protocol.Load_design { session; design; placement } ->
+  | Protocol.Load_design { session; design; placement; tiles } ->
     let d = parse_design design in
     assert_design_roundtrip d;
     let p =
@@ -410,18 +417,19 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
       | Some src -> parse_placement d src
       | None -> Placement.initial d
     in
-    let sess = Eco.Session.create ~cfg:t.cfg.eco d p in
+    let sess = Eco.Session.create ~cfg:t.cfg.eco ?tiles d p in
     let s = insert_session t session sess in
     (* Journaled as canonical native text whatever dialect arrived: replay
        has one parser and the digest pins the decoded state. *)
     journal_append t
-      [
-        ("op", Json.String "load");
-        ("session", Json.String session);
-        ("design", Json.String (Text.design_to_string d));
-        ("placement", Json.String (Text.placement_to_string d p));
-        ("digest", Json.String (Eco.Session.state_digest s.sess));
-      ];
+      ([
+         ("op", Json.String "load");
+         ("session", Json.String session);
+         ("design", Json.String (Text.design_to_string d));
+         ("placement", Json.String (Text.placement_to_string d p));
+       ]
+      @ opt_int "tiles" tiles
+      @ [ ("digest", Json.String (Eco.Session.state_digest s.sess)) ]);
     Ok
       (Protocol.Loaded
          {
@@ -430,9 +438,15 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
            n_nets = Array.length d.Design.nets;
            legal = Legality.is_legal d p;
          })
-  | Protocol.Legalize { session; budget_ms; jobs; want_placement } ->
+  | Protocol.Legalize { session; budget_ms; jobs; tiles; want_placement } ->
     let s = required_session t session in
     set_jobs_opt jobs;
+    (* Request override beats the session's tiling beats the process
+       knob; tiling never changes the placement, only wall clock. *)
+    let tiles =
+      match tiles with Some _ -> tiles | None -> Eco.Session.tiles s.sess
+    in
+    set_tiles_opt tiles;
     let design = Eco.Session.design s.sess in
     let budget = effective_budget t budget_ms in
     let opts = { Pipeline.default_options with Pipeline.budget_ms = budget } in
@@ -454,6 +468,7 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
            ("session", Json.String session);
          ]
         @ opt_int "budget_ms" budget @ opt_int "jobs" jobs
+        @ opt_int "tiles" tiles
         @ [ ("digest", Json.String (Eco.Session.state_digest s.sess)) ]);
       if budget <> None then snapshot_budget_capped t s;
       let placement =
@@ -471,12 +486,25 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
              placement;
            }))
   | Protocol.Eco
-      { session; delta; radius; max_widenings; budget_ms; jobs; want_placement }
-    ->
+      {
+        session;
+        delta;
+        radius;
+        max_widenings;
+        budget_ms;
+        jobs;
+        tiles;
+        want_placement;
+      } ->
     let s = required_session t session in
     set_jobs_opt jobs;
     let delta = parse_delta delta in
-    let cfg = eco_cfg_of t ~radius ~max_widenings ~budget_ms in
+    let tiles =
+      match tiles with Some _ -> tiles | None -> Eco.Session.tiles s.sess
+    in
+    let cfg =
+      { (eco_cfg_of t ~radius ~max_widenings ~budget_ms) with Eco.tiles }
+    in
     (* Snapshot so a post-hoc consistency failure can roll the warm
        session back to its pre-request state.  Only needed when the reply
        carries placement text (the round-trip assertion can reject). *)
@@ -519,7 +547,7 @@ let rec handle_req t (req : Protocol.request) : Protocol.response =
            ("max_widenings", Json.Int cfg.Eco.max_widenings);
          ]
         @ opt_int "budget_ms" cfg.Eco.budget_ms
-        @ opt_int "jobs" jobs
+        @ opt_int "jobs" jobs @ opt_int "tiles" tiles
         @ [ ("digest", Json.String (Eco.Session.state_digest s.sess)) ]);
       if cfg.Eco.budget_ms <> None then snapshot_budget_capped t s;
       let st = r.Eco.stats in
@@ -565,6 +593,27 @@ and stats_json_impl t =
       ("errors", Json.Int t.errors);
       ("by_kind", Json.Obj kinds);
       ("sessions", Json.Int (Hashtbl.length t.sessions));
+      ( "tile",
+        let c = Tile.counters () in
+        Json.Obj
+          [
+            ("tiles", Json.Int (Tile.tiles ()));
+            ("passes", Json.Int c.Tile.passes);
+            ("reconciled", Json.Int c.Tile.reconciled);
+            ("conflicts", Json.Int c.Tile.conflicts);
+            ("live", Json.Int c.Tile.live);
+          ] );
+      ( "session_tiles",
+        Json.Obj
+          (Hashtbl.fold
+             (fun id s acc ->
+               ( id,
+                 match Eco.Session.tiles s.sess with
+                 | Some k -> Json.Int k
+                 | None -> Json.Null )
+               :: acc)
+             t.sessions []
+          |> List.sort compare) );
       ( "cache",
         Json.Obj
           [
@@ -664,7 +713,7 @@ let parse_blob blob =
     match
       (json_str "design" doc, json_str "placement" doc, json_str "digest" doc)
     with
-    | Some d, Some p, Some dg -> Ok (d, p, dg)
+    | Some d, Some p, Some dg -> Ok (d, p, dg, json_int "tiles" doc)
     | _ -> Error "snapshot blob is missing design/placement/digest")
 
 (* Rebuild the session table from the journal: latest valid snapshot per
@@ -692,7 +741,7 @@ let recover t j (r : Journal.recovery) =
           in
           match parse_blob s.Journal.blob with
           | Error e -> invalid e
-          | Ok (dtxt, ptxt, digest) ->
+          | Ok (dtxt, ptxt, digest, tiles) ->
             let design =
               match Text.read_design dtxt with
               | Ok d -> d
@@ -703,7 +752,9 @@ let recover t j (r : Journal.recovery) =
               | Ok p -> p
               | Error e -> invalid ("placement: " ^ e)
             in
-            let sess = Eco.Session.create ~cfg:t.cfg.eco design placement in
+            let sess =
+              Eco.Session.create ~cfg:t.cfg.eco ?tiles design placement
+            in
             let got = Eco.Session.state_digest sess in
             if got <> digest then
               raise
@@ -794,7 +845,11 @@ let recover t j (r : Journal.recovery) =
                 | Ok p -> p
                 | Error e -> failr "parse-error" ("placement: " ^ e)
               in
-              let sess = Eco.Session.create ~cfg:t.cfg.eco design placement in
+              let sess =
+                Eco.Session.create ~cfg:t.cfg.eco
+                  ?tiles:(json_int "tiles" doc)
+                  design placement
+              in
               check_digest ~budget:None sess;
               Hashtbl.replace state session (sess, lsn)
             | "eco" ->
@@ -822,6 +877,7 @@ let recover t j (r : Journal.recovery) =
                     Option.value (json_int "max_widenings" doc)
                       ~default:t.cfg.eco.Eco.max_widenings;
                   Eco.budget_ms = json_int "budget_ms" doc;
+                  Eco.tiles = json_int "tiles" doc;
                 }
               in
               set_jobs_opt (json_int "jobs" doc);
@@ -846,6 +902,7 @@ let recover t j (r : Journal.recovery) =
                 }
               in
               set_jobs_opt (json_int "jobs" doc);
+              set_tiles_opt (json_int "tiles" doc);
               (match
                  Pipeline.run ~opts ~cfg:t.cfg.eco.Eco.flow
                    ~start:(Eco.Session.placement sess)

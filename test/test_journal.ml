@@ -239,6 +239,7 @@ let load server ~session (d, p) =
          session;
          design = Protocol.Text (Text.design_to_string d);
          placement = Some (Protocol.Text (Text.placement_to_string d p));
+         tiles = None;
        })
 
 let eco server ~session delta =
@@ -251,6 +252,7 @@ let eco server ~session delta =
          max_widenings = None;
          budget_ms = None;
          jobs = None;
+         tiles = None;
          want_placement = false;
        })
 
@@ -338,6 +340,7 @@ let test_budget_capped_mutation_never_replays () =
            max_widenings = None;
            budget_ms = Some 600_000;
            jobs = None;
+           tiles = None;
            want_placement = false;
          })
   in

@@ -21,6 +21,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("adversarial", Test_adversarial.suite);
       ("robust", Test_robust.suite);
+      ("tile", Test_tile.suite);
       ("determinism", Test_determinism.suite);
       ("integration", Test_integration.suite);
       ("incremental", Test_incremental.suite);

@@ -100,9 +100,16 @@ let test_request_roundtrip () =
           session = "s";
           design = Protocol.Text "cells 0\n";
           placement = Some (Protocol.Path "/tmp/p.place");
+          tiles = Some 4;
         };
       Protocol.Legalize
-        { session = "s"; budget_ms = Some 50; jobs = Some 2; want_placement = true };
+        {
+          session = "s";
+          budget_ms = Some 50;
+          jobs = Some 2;
+          tiles = Some 2;
+          want_placement = true;
+        };
       Protocol.Eco
         {
           session = "s";
@@ -111,6 +118,7 @@ let test_request_roundtrip () =
           max_widenings = None;
           budget_ms = None;
           jobs = None;
+          tiles = Some 1;
           want_placement = false;
         };
       Protocol.Get_placement { session = "s" };
@@ -201,6 +209,7 @@ let load server ~session (d, p) =
          session;
          design = Protocol.Text (Text.design_to_string d);
          placement = Some (Protocol.Text (Text.placement_to_string d p));
+         tiles = None;
        })
 
 let ok_or_fail = function
@@ -229,6 +238,7 @@ let test_handle_flows () =
                max_widenings = None;
                budget_ms = None;
                jobs = None;
+               tiles = None;
                want_placement = false;
              })
       in
@@ -285,6 +295,7 @@ let test_byte_identity () =
                     max_widenings = None;
                     budget_ms = None;
                     jobs = None;
+                    tiles = None;
                     want_placement = true;
                   }))
         with
@@ -356,6 +367,7 @@ let test_failpoint_kill () =
                max_widenings = None;
                budget_ms = None;
                jobs = None;
+               tiles = None;
                want_placement = false;
              })
       in
@@ -440,6 +452,7 @@ let test_socket_end_to_end () =
                        session = "wire";
                        design = Protocol.Text (Text.design_to_string d);
                        placement = Some (Protocol.Text (Text.placement_to_string d p));
+                       tiles = None;
                      }))
            with
           | Protocol.Loaded { n_cells = 40; _ } -> ()
@@ -455,6 +468,7 @@ let test_socket_end_to_end () =
                        max_widenings = None;
                        budget_ms = None;
                        jobs = None;
+                       tiles = None;
                        want_placement = true;
                      }))
            with
@@ -590,7 +604,7 @@ let test_client_resend_safety () =
     && Protocol.request_resend_safe Protocol.Shutdown
     && Protocol.request_resend_safe
          (Protocol.Load_design
-            { session = "s"; design = Protocol.Text ""; placement = None })
+            { session = "s"; design = Protocol.Text ""; placement = None; tiles = None })
     && (not
           (Protocol.request_resend_safe
              (Protocol.Legalize
@@ -598,6 +612,7 @@ let test_client_resend_safety () =
                   session = "s";
                   budget_ms = None;
                   jobs = None;
+                  tiles = None;
                   want_placement = false;
                 })))
     && not
@@ -610,6 +625,7 @@ let test_client_resend_safety () =
                  max_widenings = None;
                  budget_ms = None;
                  jobs = None;
+                 tiles = None;
                  want_placement = false;
                })));
   let contains hay needle =
@@ -640,6 +656,7 @@ let test_client_resend_safety () =
         max_widenings = None;
         budget_ms = None;
         jobs = None;
+        tiles = None;
         want_placement = false;
       }
   in
@@ -759,6 +776,7 @@ let test_drain_snapshots () =
                 max_widenings = None;
                 budget_ms = None;
                 jobs = None;
+                tiles = None;
                 want_placement = false;
               })
        with
@@ -776,6 +794,80 @@ let test_drain_snapshots () =
              (fun s -> s.Tdf_io.Journal.snap_session)
              r.Tdf_io.Journal.snapshots
           = [ "s" ]))
+
+(* Satellite 6: the stats reply surfaces the process tile knob, the
+   tile.* counters and every session's pinned tile count — and a session
+   loaded with "tiles" gets it back after a snapshot-recovery restart. *)
+let test_tile_stats_and_recovery () =
+  let module Json = Tdf_telemetry.Json in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tdfsrv-tiles-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let tweak c =
+    { c with Server.journal = Some (Tdf_io.Journal.default_cfg ~dir) }
+  in
+  let d, p = fixture 83 in
+  let load_tiled server =
+    Server.handle server
+      (Protocol.Load_design
+         {
+           session = "t";
+           design = Protocol.Text (Text.design_to_string d);
+           placement = Some (Protocol.Text (Text.placement_to_string d p));
+           tiles = Some 3;
+         })
+  in
+  let stats server =
+    match ok_or_fail (Server.handle server Protocol.Stats) with
+    | Protocol.Stats_snapshot j -> j
+    | _ -> Alcotest.fail "wrong stats reply"
+  in
+  let session_tiles j =
+    Option.bind (Json.member "session_tiles" j) (Json.member "t")
+  in
+  with_server ~tweak "tiles" (fun server _cfg ->
+      ignore (ok_or_fail (load_tiled server));
+      (match
+         Server.handle server
+           (Protocol.Eco
+              {
+                session = "t";
+                delta = Protocol.Text "move 4 20 20 0\n";
+                radius = None;
+                max_widenings = None;
+                budget_ms = None;
+                jobs = None;
+                tiles = None;
+                want_placement = false;
+              })
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "eco: %s" e.Protocol.detail);
+      let j = stats server in
+      let tile = Json.member "tile" j in
+      check "stats has tile block" true (tile <> None);
+      List.iter
+        (fun field ->
+          check
+            (Printf.sprintf "tile.%s is a counter" field)
+            true
+            (Option.bind tile (Json.member field) |> Option.is_some))
+        [ "tiles"; "passes"; "reconciled"; "conflicts"; "live" ];
+      check "session tile pin visible" true
+        (session_tiles j = Some (Json.Int 3));
+      Server.drain server);
+  (* Restart over the same journal dir: the snapshot must rebuild the
+     session with its tile pin intact. *)
+  with_server ~tweak "tiles2" (fun server _cfg ->
+      check "session recovered" true (Server.live_sessions server = 1);
+      check "tile pin survives recovery" true
+        (session_tiles (stats server) = Some (Json.Int 3)))
 
 (* ---- frame decoder fuzzing ------------------------------------------- *)
 
@@ -886,6 +978,8 @@ let suite =
     Alcotest.test_case "idle connections are reaped" `Quick test_idle_reap;
     Alcotest.test_case "drain compacts the journal behind a snapshot" `Quick
       test_drain_snapshots;
+    Alcotest.test_case "stats surfaces tile config, pin survives recovery"
+      `Quick test_tile_stats_and_recovery;
     Props.test ~count:40 "frame: chunked decode equals payloads"
       (Props.pair frame_payloads_arb
          (Props.list ~max_len:8 (Props.float_range 0. 1.)))

@@ -169,6 +169,9 @@ let compare_json ?(max_regression = 1.25) ?(inject_slowdown = 1.0) ~baseline
     let shape j =
       if Json.member "cases" j <> None then `Solver
       else if Json.member "serve_runs" j <> None then `Serve
+      (* BENCH_parallel.json also carries a "runs" list, so this test
+         must come before the eco fallback. *)
+      else if Json.member "recommended_domain_count" j <> None then `Parallel
       else if Json.member "runs" j <> None then `Eco
       else
         fail
@@ -177,29 +180,80 @@ let compare_json ?(max_regression = 1.25) ?(inject_slowdown = 1.0) ~baseline
     in
     let sb = shape baseline and sc = shape current in
     if sb <> sc then fail "baseline and current are different benchmark kinds";
-    let section, key, probes, list_name =
-      match sb with
-      | `Solver -> ("solver", `Str "name", solver_probes, "cases")
-      | `Eco -> ("eco", `Int "delta_cells", eco_probes, "runs")
-      | `Serve -> ("serve", `Str "name", serve_probes, "serve_runs")
-    in
-    let index_of j =
-      let cases = list_field list_name j in
-      match key with
-      | `Str k -> index ~key:k cases
-      | `Int k -> keyed_int ~key:k cases
-    in
-    let pairs, skipped = pair_up ~section (index_of baseline) (index_of current) in
-    if pairs = [] then fail "no overlapping cases between baseline and current";
-    let checks =
-      List.concat_map
-        (fun (name, b, c) ->
-          judge ~max_regression ~inject_slowdown
-            ~prefix:(section ^ "/" ^ name)
-            probes b c)
-        pairs
-    in
-    Ok { checks; skipped; passed = List.for_all (fun c -> c.ok) checks }
+    match sb with
+    | `Parallel ->
+      (* Two keyed sweeps (jobs and tiles) plus the top-level determinism
+         bit; each run contributes one wall-clock check. *)
+      let wall =
+        [ { p_name = "wall_s"; p_kind = Time; p_read = float_field "wall_s" } ]
+      in
+      let sweep ~section ~key ~list_name =
+        let idx j = keyed_int ~key (list_field list_name j) in
+        pair_up ~section (idx baseline) (idx current)
+      in
+      let jp, s1 = sweep ~section:"parallel/jobs" ~key:"jobs" ~list_name:"runs" in
+      let tp, s2 =
+        sweep ~section:"parallel/tiles" ~key:"tiles" ~list_name:"tile_runs"
+      in
+      if jp = [] && tp = [] then
+        fail "no overlapping cases between baseline and current";
+      let det =
+        [
+          {
+            p_name = "deterministic";
+            p_kind = Exact;
+            p_read = (fun j -> if bool_field "deterministic" j then 1. else 0.);
+          };
+        ]
+      in
+      let checks =
+        judge ~max_regression ~inject_slowdown ~prefix:"parallel" det baseline
+          current
+        @ List.concat_map
+            (fun (name, b, c) ->
+              judge ~max_regression ~inject_slowdown
+                ~prefix:("parallel/jobs=" ^ name)
+                wall b c)
+            jp
+        @ List.concat_map
+            (fun (name, b, c) ->
+              judge ~max_regression ~inject_slowdown
+                ~prefix:("parallel/tiles=" ^ name)
+                wall b c)
+            tp
+      in
+      Ok
+        {
+          checks;
+          skipped = s1 @ s2;
+          passed = List.for_all (fun c -> c.ok) checks;
+        }
+    | (`Solver | `Eco | `Serve) as sb ->
+      let section, key, probes, list_name =
+        match sb with
+        | `Solver -> ("solver", `Str "name", solver_probes, "cases")
+        | `Eco -> ("eco", `Int "delta_cells", eco_probes, "runs")
+        | `Serve -> ("serve", `Str "name", serve_probes, "serve_runs")
+      in
+      let index_of j =
+        let cases = list_field list_name j in
+        match key with
+        | `Str k -> index ~key:k cases
+        | `Int k -> keyed_int ~key:k cases
+      in
+      let pairs, skipped =
+        pair_up ~section (index_of baseline) (index_of current)
+      in
+      if pairs = [] then fail "no overlapping cases between baseline and current";
+      let checks =
+        List.concat_map
+          (fun (name, b, c) ->
+            judge ~max_regression ~inject_slowdown
+              ~prefix:(section ^ "/" ^ name)
+              probes b c)
+          pairs
+      in
+      Ok { checks; skipped; passed = List.for_all (fun c -> c.ok) checks }
   with Malformed msg -> Error msg
 
 let load path =

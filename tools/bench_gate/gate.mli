@@ -2,7 +2,7 @@
     against a checked-in baseline and fail on wall-clock regressions or
     numeric drift.
 
-    Three file shapes are understood (detected from the content):
+    Four file shapes are understood (detected from the content):
 
     - {b solver} ([BENCH_solver.json]): per case, [flow]/[cost] must match
       the baseline {e exactly} — drift means the solver's arithmetic
@@ -19,7 +19,13 @@
       rerun must be [journal_byte_identical] with a
       [journal_overhead_p50] latency ratio at most the bound pinned in
       the baseline (a within-run ratio, so host speed and
-      [inject_slowdown] cancel out).
+      [inject_slowdown] cancel out);
+    - {b parallel} ([BENCH_parallel.json], recognized by its
+      [recommended_domain_count] field — it also carries a [runs] list, so
+      the test precedes the eco fallback): the grid must stay
+      [deterministic] across every jobs {e and} tiles setting, and each
+      sweep entry's [wall_s] (keyed by [jobs] / [tiles]) may grow by at
+      most the regression factor.
 
     Cases present in only one of the files are reported but not fatal
     (benchmarks gain cases over time); a baseline/current pair with {e no}

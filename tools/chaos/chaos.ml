@@ -194,9 +194,18 @@ let () =
            session;
            design = Protocol.Path (file "d0.design");
            placement = Some (Protocol.Path (file "p0.place"));
+           (* Tiled sessions must replay byte-stably too: tiling is a
+              wall-clock knob, so recovery digests cannot drift. *)
+           tiles = Some 2;
          }
       :: Protocol.Legalize
-           { session; budget_ms = None; jobs = None; want_placement = true }
+           {
+             session;
+             budget_ms = None;
+             jobs = None;
+             tiles = None;
+             want_placement = true;
+           }
       :: List.init !ecos (fun _ ->
              Protocol.Eco
                {
@@ -206,6 +215,7 @@ let () =
                  max_widenings = None;
                  budget_ms = None;
                  jobs = None;
+                 tiles = None;
                  want_placement = true;
                })
       @ [ Protocol.Get_placement { session } ])
