@@ -1,5 +1,6 @@
 module Budget = Tdf_util.Budget
 module Heap_int = Tdf_util.Heap_int
+module Heap_radix = Tdf_util.Heap_radix
 
 type arc = { a_src : int; a_dst : int; a_cap : int; a_cost : int }
 
@@ -157,6 +158,16 @@ module Workspace = struct
     mutable prev_a : int array;
     mutable potential : int array;
     heap : Heap_int.t;
+    rheap : Heap_radix.t;
+    (* Blocking-phase scratch: per-vertex arc cursor, DFS path stacks and
+       stamp-marked on-path/dead flags.  Stamps grow monotonically across
+       the workspace lifetime so reuse needs no O(n) clears. *)
+    mutable cur : int array;
+    mutable stack_v : int array;
+    mutable stack_a : int array;
+    mutable onstack : int array;
+    mutable dead : int array;
+    mutable stamp : int;
     mutable solves : int;
   }
 
@@ -167,6 +178,13 @@ module Workspace = struct
       prev_a = [||];
       potential = [||];
       heap = Heap_int.create ();
+      rheap = Heap_radix.create ();
+      cur = [||];
+      stack_v = [||];
+      stack_a = [||];
+      onstack = [||];
+      dead = [||];
+      stamp = 0;
       solves = 0;
     }
 
@@ -175,10 +193,53 @@ module Workspace = struct
       ws.dist <- Array.make n 0;
       ws.prev_v <- Array.make n 0;
       ws.prev_a <- Array.make n 0;
-      ws.potential <- Array.make n 0
+      ws.potential <- Array.make n 0;
+      ws.cur <- Array.make n 0;
+      ws.stack_v <- Array.make (n + 1) 0;
+      ws.stack_a <- Array.make (n + 1) 0;
+      ws.onstack <- Array.make n 0;
+      ws.dead <- Array.make n 0
     end;
-    Heap_int.clear ws.heap
+    Heap_int.clear ws.heap;
+    Heap_radix.clear ws.rheap
 end
+
+(* ------------------------------------------------------------------ *)
+(* Solver variants                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type variant = Ssp | Radix | Blocking
+
+let variant_name = function
+  | Ssp -> "ssp"
+  | Radix -> "radix"
+  | Blocking -> "blocking"
+
+let variant_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "ssp" -> Some Ssp
+  | "radix" -> Some Radix
+  | "blocking" -> Some Blocking
+  | _ -> None
+
+let env_variant =
+  lazy
+    (match Sys.getenv_opt "TDFLOW_SOLVER" with
+    | None | Some "" -> Blocking
+    | Some s -> (
+      match variant_of_string s with
+      | Some v -> v
+      | None ->
+        invalid_arg
+          (Printf.sprintf "TDFLOW_SOLVER=%S: expected ssp, radix or blocking" s)
+      ))
+
+let variant_override = ref None
+
+let set_default_variant v = variant_override := Some v
+
+let default_variant () =
+  match !variant_override with Some v -> v | None -> Lazy.force env_variant
 
 (* ------------------------------------------------------------------ *)
 (* Successive shortest paths on the CSR graph                          *)
@@ -231,17 +292,24 @@ let bellman_ford (g : Csr.t) source dist =
   if !iters > n then Error (relaxable_arcs g dist) else Ok ()
 
 let solve_csr (g : Csr.t) ~(ws : Workspace.t) ~source ~sink
-    ?(max_flow = max_int) ?(budget = Budget.unlimited) () =
+    ?(max_flow = max_int) ?(budget = Budget.unlimited) ?variant () =
   Tdf_telemetry.span "mcmf.min_cost_flow" @@ fun () ->
   if Tdf_util.Failpoint.fire "mcmf.solve" then Error (Negative_cycle [])
   else begin
+    let variant =
+      match variant with Some v -> v | None -> default_variant ()
+    in
     let n = g.Csr.n in
     Workspace.ensure ws n;
     if ws.Workspace.solves > 0 then Tdf_telemetry.incr "mcmf.ws_reuse";
     ws.Workspace.solves <- ws.Workspace.solves + 1;
     let telemetry = Tdf_telemetry.enabled () in
     let mw0 = if telemetry then Gc.minor_words () else 0. in
-    let pops = ref 0 and relaxations = ref 0 and augmentations = ref 0 in
+    let pops = ref 0
+    and relaxations = ref 0
+    and augmentations = ref 0
+    and arc_scans = ref 0
+    and phases = ref 0 in
     let dist = ws.Workspace.dist
     and prev_v = ws.Workspace.prev_v
     and prev_a = ws.Workspace.prev_a
@@ -272,6 +340,210 @@ let solve_csr (g : Csr.t) ~(ws : Workspace.t) ~source ~sink
       let total_flow = ref 0 and total_cost = ref 0 in
       let continue = ref true in
       let complete = ref true in
+      (* Dijkstra on reduced costs (exact integer keys), binary heap: the
+         classic SSP inner loop, kept bit-for-bit as the reference path. *)
+      let dijkstra_binary () =
+        incr phases;
+        Array.fill dist 0 n max_int;
+        dist.(source) <- 0;
+        Heap_int.clear heap;
+        Heap_int.add heap ~key:0 source;
+        let rec run () =
+          if not (Heap_int.is_empty heap) then begin
+            let d = Heap_int.top_key heap and v = Heap_int.top_value heap in
+            Heap_int.remove_top heap;
+            incr pops;
+            if d <= dist.(v) then
+              for p = g.Csr.head.(v) to g.Csr.head.(v + 1) - 1 do
+                incr arc_scans;
+                if g.Csr.a_cap.(p) > 0 then begin
+                  let w = g.Csr.a_dst.(p) in
+                  let nd =
+                    dist.(v) + g.Csr.a_cost.(p) + potential.(v) - potential.(w)
+                  in
+                  if nd < dist.(w) then begin
+                    incr relaxations;
+                    dist.(w) <- nd;
+                    prev_v.(w) <- v;
+                    prev_a.(w) <- p;
+                    Heap_int.add heap ~key:nd w
+                  end
+                end
+              done;
+            run ()
+          end
+        in
+        run ()
+      in
+      (* Same Dijkstra on the monotone radix heap.  Reduced costs of
+         residual arcs out of reachable vertices are non-negative (Johnson
+         potentials), so pushed keys never fall below the extracted
+         minimum; Heap_radix.add raises loudly if that invariant is ever
+         broken. *)
+      let dijkstra_radix () =
+        incr phases;
+        Array.fill dist 0 n max_int;
+        dist.(source) <- 0;
+        let rheap = ws.Workspace.rheap in
+        Heap_radix.clear rheap;
+        Heap_radix.add rheap ~key:0 source;
+        while not (Heap_radix.is_empty rheap) do
+          let d = Heap_radix.top_key rheap
+          and v = Heap_radix.top_value rheap in
+          Heap_radix.remove_top rheap;
+          incr pops;
+          if d <= dist.(v) then
+            for p = g.Csr.head.(v) to g.Csr.head.(v + 1) - 1 do
+              incr arc_scans;
+              if g.Csr.a_cap.(p) > 0 then begin
+                let w = g.Csr.a_dst.(p) in
+                let nd =
+                  dist.(v) + g.Csr.a_cost.(p) + potential.(v) - potential.(w)
+                in
+                if nd < dist.(w) then begin
+                  incr relaxations;
+                  dist.(w) <- nd;
+                  prev_v.(w) <- v;
+                  prev_a.(w) <- p;
+                  Heap_radix.add rheap ~key:nd w
+                end
+              end
+            done
+        done
+      in
+      let lift_potentials () =
+        for v = 0 to n - 1 do
+          if dist.(v) < max_int then potential.(v) <- potential.(v) + dist.(v)
+        done
+      in
+      (* One augmentation along the Dijkstra parent tree (classic SSP
+         step; also the progress guarantee behind the blocking phase). *)
+      let augment_parent_tree () =
+        let rec bottleneck v acc =
+          if v = source then acc
+          else bottleneck prev_v.(v) (min acc g.Csr.a_cap.(prev_a.(v)))
+        in
+        let push = min (bottleneck sink max_int) (max_flow - !total_flow) in
+        let rec apply v =
+          if v <> source then begin
+            let p = prev_a.(v) in
+            g.Csr.a_cap.(p) <- g.Csr.a_cap.(p) - push;
+            let r = g.Csr.a_rev.(p) in
+            g.Csr.a_cap.(r) <- g.Csr.a_cap.(r) + push;
+            total_cost := !total_cost + (push * g.Csr.a_cost.(p));
+            apply prev_v.(v)
+          end
+        in
+        apply sink;
+        incr augmentations;
+        Budget.tick budget 1;
+        total_flow := !total_flow + push
+      in
+      (* Blocking phase: after lift_potentials, arcs on some shortest path
+         are exactly those with zero reduced cost.  A DFS with per-vertex
+         arc cursors pushes flow along such tight paths until the source
+         runs out of admissible arcs, so one Dijkstra feeds many
+         augmentations.  Every successful push saturates at least one arc
+         (or hits max_flow), and dead/cursor marks never resurrect within
+         a phase, so the phase terminates.  Each augmenting path has zero
+         reduced cost, i.e. it is a shortest path, so the SSP optimality
+         invariant — and with it the exact (flow, cost) — is preserved. *)
+      let blocking_phase () =
+        let cur = ws.Workspace.cur
+        and stack_v = ws.Workspace.stack_v
+        and stack_a = ws.Workspace.stack_a
+        and onstack = ws.Workspace.onstack
+        and dead = ws.Workspace.dead in
+        ws.Workspace.stamp <- ws.Workspace.stamp + 1;
+        let stamp = ws.Workspace.stamp in
+        Array.blit g.Csr.head 0 cur 0 n;
+        let depth = ref 0 in
+        stack_v.(0) <- source;
+        onstack.(source) <- stamp;
+        let pushes = ref 0 in
+        let phase_done = ref false in
+        while not !phase_done do
+          let u = stack_v.(!depth) in
+          if u = sink then begin
+            (* Budget check at augmentation granularity, like the SSP
+               loop's per-round check. *)
+            if Budget.exhausted budget then begin
+              complete := false;
+              continue := false;
+              phase_done := true
+            end
+            else begin
+              let push = ref (max_flow - !total_flow) in
+              for i = 1 to !depth do
+                let c = g.Csr.a_cap.(stack_a.(i)) in
+                if c < !push then push := c
+              done;
+              let push = !push in
+              for i = 1 to !depth do
+                let p = stack_a.(i) in
+                g.Csr.a_cap.(p) <- g.Csr.a_cap.(p) - push;
+                let r = g.Csr.a_rev.(p) in
+                g.Csr.a_cap.(r) <- g.Csr.a_cap.(r) + push;
+                total_cost := !total_cost + (push * g.Csr.a_cost.(p))
+              done;
+              total_flow := !total_flow + push;
+              incr augmentations;
+              incr pushes;
+              Budget.tick budget 1;
+              if !total_flow >= max_flow then phase_done := true
+              else begin
+                (* Retreat to the shallowest saturated arc and resume the
+                   DFS just past it. *)
+                let i = ref 1 in
+                while g.Csr.a_cap.(stack_a.(!i)) > 0 do
+                  incr i
+                done;
+                for d = !i to !depth do
+                  onstack.(stack_v.(d)) <- 0
+                done;
+                depth := !i - 1;
+                cur.(stack_v.(!depth)) <- stack_a.(!i) + 1
+              end
+            end
+          end
+          else begin
+            let hi = g.Csr.head.(u + 1) in
+              let p = ref cur.(u) in
+              let found = ref (-1) in
+              while !found < 0 && !p < hi do
+                let q = !p in
+                incr arc_scans;
+                if g.Csr.a_cap.(q) > 0 then begin
+                  let w = g.Csr.a_dst.(q) in
+                  if
+                    onstack.(w) <> stamp
+                    && dead.(w) <> stamp
+                    && g.Csr.a_cost.(q) + potential.(u) - potential.(w) = 0
+                  then found := q
+                end;
+                if !found < 0 then incr p
+              done;
+              cur.(u) <- !p;
+              if !found >= 0 then begin
+                let w = g.Csr.a_dst.(!found) in
+                incr depth;
+                stack_v.(!depth) <- w;
+                stack_a.(!depth) <- !found;
+                onstack.(w) <- stamp
+              end
+            else begin
+              dead.(u) <- stamp;
+              onstack.(u) <- 0;
+              if !depth = 0 then phase_done := true
+              else begin
+                decr depth;
+                cur.(stack_v.(!depth)) <- stack_a.(!depth + 1) + 1
+              end
+            end
+          end
+        done;
+        !pushes
+      in
       while !continue && !total_flow < max_flow do
         if Tdf_util.Failpoint.fire "mcmf.timeout" then Budget.exhaust budget;
         if Budget.exhausted budget then begin
@@ -280,67 +552,32 @@ let solve_csr (g : Csr.t) ~(ws : Workspace.t) ~source ~sink
           continue := false
         end
         else begin
-          (* Dijkstra on reduced costs (exact integer keys). *)
-          Array.fill dist 0 n max_int;
-          dist.(source) <- 0;
-          Heap_int.clear heap;
-          Heap_int.add heap ~key:0 source;
-          let rec run () =
-            if not (Heap_int.is_empty heap) then begin
-              let d = Heap_int.top_key heap and v = Heap_int.top_value heap in
-              Heap_int.remove_top heap;
-              incr pops;
-              if d <= dist.(v) then
-                for p = g.Csr.head.(v) to g.Csr.head.(v + 1) - 1 do
-                  if g.Csr.a_cap.(p) > 0 then begin
-                    let w = g.Csr.a_dst.(p) in
-                    let nd =
-                      dist.(v) + g.Csr.a_cost.(p) + potential.(v) - potential.(w)
-                    in
-                    if nd < dist.(w) then begin
-                      incr relaxations;
-                      dist.(w) <- nd;
-                      prev_v.(w) <- v;
-                      prev_a.(w) <- p;
-                      Heap_int.add heap ~key:nd w
-                    end
-                  end
-                done;
-              run ()
-            end
-          in
-          run ();
+          (match variant with
+          | Ssp -> dijkstra_binary ()
+          | Radix | Blocking -> dijkstra_radix ());
           if dist.(sink) = max_int then continue := false
           else begin
-            for v = 0 to n - 1 do
-              if dist.(v) < max_int then potential.(v) <- potential.(v) + dist.(v)
-            done;
-            (* Bottleneck along the path. *)
-            let rec bottleneck v acc =
-              if v = source then acc
-              else bottleneck prev_v.(v) (min acc g.Csr.a_cap.(prev_a.(v)))
-            in
-            let push = min (bottleneck sink max_int) (max_flow - !total_flow) in
-            let rec apply v =
-              if v <> source then begin
-                let p = prev_a.(v) in
-                g.Csr.a_cap.(p) <- g.Csr.a_cap.(p) - push;
-                let r = g.Csr.a_rev.(p) in
-                g.Csr.a_cap.(r) <- g.Csr.a_cap.(r) + push;
-                total_cost := !total_cost + (push * g.Csr.a_cost.(p));
-                apply prev_v.(v)
-              end
-            in
-            apply sink;
-            incr augmentations;
-            Budget.tick budget 1;
-            total_flow := !total_flow + push
+            lift_potentials ();
+            match variant with
+            | Ssp | Radix -> augment_parent_tree ()
+            | Blocking ->
+              (* The DFS can in principle dead-mark a vertex whose only
+                 tight paths to the sink run through the then-current
+                 stack; if a phase somehow pushes nothing, fall back to
+                 one parent-tree augmentation so progress (and hence
+                 termination) is unconditional. *)
+              let pushes = blocking_phase () in
+              if pushes = 0 && !continue && !total_flow < max_flow then
+                augment_parent_tree ()
           end
         end
       done;
       Tdf_telemetry.count "mcmf.augmentations" !augmentations;
       Tdf_telemetry.count "mcmf.dijkstra_pops" !pops;
       Tdf_telemetry.count "mcmf.relaxations" !relaxations;
+      Tdf_telemetry.count "mcmf.arc_scans" !arc_scans;
+      Tdf_telemetry.count "mcmf.phases" !phases;
+      Tdf_telemetry.incr ("mcmf.variant_" ^ variant_name variant);
       if not !complete then Tdf_telemetry.incr "mcmf.budget_stops";
       if telemetry && !augmentations > 0 then
         Tdf_telemetry.observe "mcmf.minor_words_per_aug"
@@ -384,8 +621,9 @@ let workspace t =
     t.ws <- Some ws;
     ws
 
-let solve t ~source ~sink ?max_flow ?budget () =
-  solve_csr (csr t) ~ws:(workspace t) ~source ~sink ?max_flow ?budget ()
+let solve t ~source ~sink ?max_flow ?budget ?variant () =
+  solve_csr (csr t) ~ws:(workspace t) ~source ~sink ?max_flow ?budget ?variant
+    ()
 
 let min_cost_flow t ~source ~sink ?max_flow () =
   match solve t ~source ~sink ?max_flow () with

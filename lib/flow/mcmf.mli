@@ -94,13 +94,54 @@ end
 
 module Workspace : sig
   type t
-  (** Reusable solver scratch: distance/parent/potential labels plus the
-      Dijkstra heap.  Sized lazily to the largest graph solved with it;
-      sharing one workspace across solves (even of different graphs)
-      changes no results — only allocation. *)
+  (** Reusable solver scratch: distance/parent/potential labels, the
+      Dijkstra heaps (binary and radix) and the blocking-phase DFS
+      cursors.  Sized lazily to the largest graph solved with it; sharing
+      one workspace across solves (even of different graphs) changes no
+      results — only allocation. *)
 
   val create : unit -> t
 end
+
+(** {2 Solver variants}
+
+    Three interchangeable engines behind the same interface, all returning
+    the identical [(flow, cost)] optimum (max flow is unique; min cost at
+    max flow is unique — only per-arc flow splits may differ between
+    variants, so {!flow_on} readings are variant-dependent on ties):
+
+    - [Ssp]: the classic successive-shortest-path loop on the binary
+      {!Tdf_util.Heap_int} — the bit-for-bit reference path;
+    - [Radix]: the same loop on the monotone {!Tdf_util.Heap_radix},
+      exploiting non-negative exact integer reduced costs (O(1) pushes);
+    - [Blocking]: radix Dijkstra plus multi-augmentation — after each
+      potential update a DFS pushes flow along every zero-reduced-cost
+      (i.e. shortest) path it can find, so one SSSP feeds many
+      augmentations.  The default: 3D-Flow's shallow grid graphs make
+      this the asymptotic win at scale 1.0.
+
+    The process default comes from [TDFLOW_SOLVER=ssp|radix|blocking]
+    (unset: [Blocking]) and can be overridden at runtime with
+    {!set_default_variant}; a partial (budget-exhausted) solve's
+    [flow]/[cost] may legitimately differ between variants since they stop
+    at different augmentation boundaries. *)
+
+type variant = Ssp | Radix | Blocking
+
+val variant_name : variant -> string
+
+val variant_of_string : string -> variant option
+(** Case-insensitive; [None] on unknown names. *)
+
+val default_variant : unit -> variant
+(** The variant used when [?variant] is omitted: the
+    {!set_default_variant} override if any, else [TDFLOW_SOLVER], else
+    [Blocking]. *)
+
+val set_default_variant : variant -> unit
+(** Process-wide override, taking precedence over [TDFLOW_SOLVER]; used by
+    cross-variant differential tests to steer call sites that don't thread
+    [?variant]. *)
 
 val solve_csr :
   Csr.t ->
@@ -109,6 +150,7 @@ val solve_csr :
   sink:int ->
   ?max_flow:int ->
   ?budget:Tdf_util.Budget.t ->
+  ?variant:variant ->
   unit ->
   (solution, error) result
 (** Core solver: push up to [max_flow] units along successive shortest
@@ -116,7 +158,10 @@ val solve_csr :
     are those of {!solve}; reusing a workspace bumps the ["mcmf.ws_reuse"]
     telemetry counter, and (when telemetry is enabled) minor-heap
     allocation per augmentation is reported as
-    ["mcmf.minor_words_per_aug"]. *)
+    ["mcmf.minor_words_per_aug"].  Per-solve work is surfaced through the
+    ["mcmf.arc_scans"] (arcs examined by Dijkstra relaxation and the
+    blocking DFS) and ["mcmf.phases"] (SSSP rounds) counters, which is how
+    the bench measures the asymptotic win of the non-[Ssp] variants. *)
 
 (** {2 Staged-graph shim} *)
 
@@ -143,6 +188,7 @@ val solve :
   sink:int ->
   ?max_flow:int ->
   ?budget:Tdf_util.Budget.t ->
+  ?variant:variant ->
   unit ->
   (solution, error) result
 (** [solve t ~source ~sink ()] pushes up to [max_flow] (default: as much

@@ -167,18 +167,40 @@ let test_negative_self_loop_is_cycle () =
 (* Differential: CSR solver vs the seed SSP implementation             *)
 (* ------------------------------------------------------------------ *)
 
-let check_against_ref ~what edges n ~source ~sink =
-  let g = M.create n in
+let all_variants = [ M.Ssp; M.Radix; M.Blocking ]
+
+let ref_min_cost_flow edges n ~source ~sink =
   let r = Ref_ssp.create n in
   List.iter
     (fun (src, dst, cap, cost) ->
-      ignore (M.add_edge g ~src ~dst ~cap ~cost);
       ignore (Ref_ssp.add_edge r ~src ~dst ~cap ~cost))
     edges;
-  let flow, cost = M.min_cost_flow g ~source ~sink () in
-  let rflow, rcost = Ref_ssp.min_cost_flow r ~source ~sink () in
-  Alcotest.(check int) (what ^ ": flow matches seed") rflow flow;
-  Alcotest.(check int) (what ^ ": cost matches seed") rcost cost
+  Ref_ssp.min_cost_flow r ~source ~sink ()
+
+let solve_variant variant edges n ~source ~sink =
+  let b = M.Builder.create n in
+  List.iter
+    (fun (src, dst, cap, cost) ->
+      ignore (M.Builder.add_edge b ~src ~dst ~cap ~cost))
+    edges;
+  let g = M.Csr.of_builder b in
+  let ws = M.Workspace.create () in
+  match M.solve_csr g ~ws ~source ~sink ~variant () with
+  | Ok s -> (s.M.flow, s.M.cost)
+  | Error _ -> (min_int, min_int)
+
+(* Every solver variant must reproduce the seed SSP's (flow, cost) exactly:
+   max flow is unique, and so is the min cost at max flow, even where
+   per-arc flow splits differ. *)
+let check_against_ref ~what edges n ~source ~sink =
+  let rflow, rcost = ref_min_cost_flow edges n ~source ~sink in
+  List.iter
+    (fun variant ->
+      let flow, cost = solve_variant variant edges n ~source ~sink in
+      let tag = what ^ " [" ^ M.variant_name variant ^ "]" in
+      Alcotest.(check int) (tag ^ ": flow matches seed") rflow flow;
+      Alcotest.(check int) (tag ^ ": cost matches seed") rcost cost)
+    all_variants
 
 (* >= 200 seeded random graphs on the in-repo property harness.  Half
    allow cycles (non-negative costs, self-loops and parallel edges
@@ -231,18 +253,15 @@ let rand_graph_arb =
       { rg_n = n; rg_edges = List.rev !edges })
 
 let prop_differential_random =
-  Props.test "differential vs seed SSP (220 random)" ~count:220 rand_graph_arb
-    (fun g ->
-      let mg = M.create g.rg_n in
-      let r = Ref_ssp.create g.rg_n in
-      List.iter
-        (fun (src, dst, cap, cost) ->
-          ignore (M.add_edge mg ~src ~dst ~cap ~cost);
-          ignore (Ref_ssp.add_edge r ~src ~dst ~cap ~cost))
-        g.rg_edges;
-      let flow, cost = M.min_cost_flow mg ~source:0 ~sink:(g.rg_n - 1) () in
-      let rflow, rcost = Ref_ssp.min_cost_flow r ~source:0 ~sink:(g.rg_n - 1) () in
-      flow = rflow && cost = rcost)
+  Props.test "differential vs seed SSP (400 random, all variants)" ~count:400
+    rand_graph_arb (fun g ->
+      let source = 0 and sink = g.rg_n - 1 in
+      let rflow, rcost = ref_min_cost_flow g.rg_edges g.rg_n ~source ~sink in
+      List.for_all
+        (fun variant ->
+          (rflow, rcost)
+          = solve_variant variant g.rg_edges g.rg_n ~source ~sink)
+        all_variants)
 
 (* Transportation network shaped like the paper's legalization bin graphs
    (the generator the solver microbenchmark uses): source -> supply bins
@@ -284,6 +303,148 @@ let test_differential_benchmark_graphs () =
         ~what:(Printf.sprintf "transportation %dx%d" supplies demands)
         edges n ~source ~sink)
     [ (8, 8, 2, 1); (24, 24, 4, 42); (40, 32, 6, 7); (64, 64, 5, 11) ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial differential families (all solver variants vs seed SSP)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Complete bipartite supply/demand coupling: every supply reaches every
+   demand, maximizing shortest-path ties and the fan-out of the tight-arc
+   DAG the blocking phase walks. *)
+let test_differential_dense_bipartite () =
+  List.iter
+    (fun (supplies, demands, seed) ->
+      let edges, n, source, sink =
+        transportation_edges ~supplies ~demands ~window:demands ~seed
+      in
+      check_against_ref
+        ~what:(Printf.sprintf "dense bipartite %dx%d" supplies demands)
+        edges n ~source ~sink)
+    [ (12, 12, 2); (20, 16, 13); (16, 24, 99) ]
+
+(* Ladder / grid chains: long shortest paths (hundreds of hops) stress
+   potential accumulation, radix-bucket redistribution and the DFS stack
+   depth of the blocking phase. *)
+let grid_edges ~rows ~cols ~seed =
+  let rng = Tdf_util.Prng.create seed in
+  let v r c = 1 + (r * cols) + c in
+  let n = (rows * cols) + 2 in
+  let source = 0 and sink = n - 1 in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    edges := (source, v r 0, 1 + Tdf_util.Prng.int rng 4, 0) :: !edges;
+    edges := (v r (cols - 1), sink, 1 + Tdf_util.Prng.int rng 4, 0) :: !edges
+  done;
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        edges :=
+          ( v r c,
+            v r (c + 1),
+            1 + Tdf_util.Prng.int rng 5,
+            Tdf_util.Prng.int rng 7 )
+          :: !edges;
+      if r + 1 < rows then begin
+        edges :=
+          ( v r c,
+            v (r + 1) c,
+            1 + Tdf_util.Prng.int rng 3,
+            Tdf_util.Prng.int rng 7 )
+          :: !edges;
+        edges :=
+          ( v (r + 1) c,
+            v r c,
+            1 + Tdf_util.Prng.int rng 3,
+            Tdf_util.Prng.int rng 7 )
+          :: !edges
+      end
+    done
+  done;
+  (List.rev !edges, n, source, sink)
+
+let test_differential_long_chain_grids () =
+  List.iter
+    (fun (rows, cols, seed) ->
+      let edges, n, source, sink = grid_edges ~rows ~cols ~seed in
+      check_against_ref
+        ~what:(Printf.sprintf "grid %dx%d" rows cols)
+        edges n ~source ~sink)
+    [ (1, 120, 4); (2, 60, 8); (3, 40, 15); (4, 25, 23) ]
+
+(* Bundles of zero-cost parallel arcs: every augmenting path is a tie, so
+   any tie-order divergence between the heaps must still land on the same
+   (flow, cost); also exercises zero-length plateaus in the blocking DFS
+   (and its cycle avoidance, via the zero-cost back arcs). *)
+let test_differential_zero_cost_parallel () =
+  List.iter
+    (fun seed ->
+      let rng = Tdf_util.Prng.create seed in
+      let n = 6 in
+      let edges = ref [] in
+      for s = 0 to n - 2 do
+        for d = 1 to n - 1 do
+          if s <> d then
+            for _ = 1 to 1 + Tdf_util.Prng.int rng 4 do
+              let cost = if Tdf_util.Prng.int rng 4 = 0 then 1 else 0 in
+              edges := (s, d, 1 + Tdf_util.Prng.int rng 2, cost) :: !edges
+            done
+        done
+      done;
+      check_against_ref
+        ~what:(Printf.sprintf "zero-cost parallel (seed %d)" seed)
+        (List.rev !edges) n ~source:0 ~sink:(n - 1))
+    [ 1; 7; 21; 34 ]
+
+(* Micro-unit costs near the legalizer's scaling magnitude (1e6 per unit
+   cost, so paths accumulate ~1e8): large exact-integer keys stress radix
+   bucket indexing on high bits and would expose any float rounding if a
+   heap ever went through floats. *)
+let test_differential_near_max_micro_costs () =
+  List.iter
+    (fun (supplies, demands, window, seed) ->
+      let edges, n, source, sink =
+        transportation_edges ~supplies ~demands ~window ~seed
+      in
+      let rng = Tdf_util.Prng.create (seed + 1) in
+      let edges =
+        List.map
+          (fun (s, d, cap, c) ->
+            if c = 0 then (s, d, cap, c)
+            else (s, d, cap, (1_000_000 * c) - Tdf_util.Prng.int rng 50))
+          edges
+      in
+      check_against_ref
+        ~what:(Printf.sprintf "near-max micro costs %dx%d" supplies demands)
+        edges n ~source ~sink)
+    [ (10, 10, 3, 6); (24, 20, 5, 17); (32, 32, 4, 29) ]
+
+(* Supply that cannot reach the sink: dead-end supply bins (arcs from the
+   source but none onward) and starved demand bins.  Max flow is limited
+   by reachability, and unreachable vertices keep stale potentials — the
+   regime where a broken reduced-cost invariant would trip the radix
+   heap's monotone check. *)
+let test_differential_disconnected_supply () =
+  List.iter
+    (fun (supplies, demands, window, seed) ->
+      let edges, n, source, sink =
+        transportation_edges ~supplies ~demands ~window ~seed
+      in
+      let edges =
+        List.filter
+          (fun (s, d, _, _) ->
+            (* drop every third supply's outgoing arcs and every fourth
+               demand's sink arc *)
+            let sup_out = s >= 1 && s <= supplies && (s - 1) mod 3 = 0 in
+            let dem_in = d = sink && s >= 1 + supplies && (s - supplies) mod 4 = 0
+            in
+            (not sup_out) && not dem_in)
+          edges
+      in
+      check_against_ref
+        ~what:
+          (Printf.sprintf "disconnected supply %dx%d" supplies demands)
+        edges n ~source ~sink)
+    [ (9, 9, 2, 3); (21, 15, 4, 12); (30, 30, 3, 27) ]
 
 (* ------------------------------------------------------------------ *)
 (* Workspace reuse                                                     *)
@@ -398,6 +559,16 @@ let suite =
     prop_differential_random;
     Alcotest.test_case "differential vs seed SSP (transportation)" `Quick
       test_differential_benchmark_graphs;
+    Alcotest.test_case "differential: dense bipartite (all variants)" `Quick
+      test_differential_dense_bipartite;
+    Alcotest.test_case "differential: long-chain grids (all variants)" `Quick
+      test_differential_long_chain_grids;
+    Alcotest.test_case "differential: zero-cost parallel arcs (all variants)"
+      `Quick test_differential_zero_cost_parallel;
+    Alcotest.test_case "differential: near-max micro costs (all variants)"
+      `Quick test_differential_near_max_micro_costs;
+    Alcotest.test_case "differential: disconnected supply (all variants)"
+      `Quick test_differential_disconnected_supply;
     Alcotest.test_case "workspace reuse determinism" `Quick
       test_workspace_reuse_determinism;
     Alcotest.test_case "reset_caps repeated solve" `Quick

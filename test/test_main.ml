@@ -23,6 +23,7 @@ let () =
       ("robust", Test_robust.suite);
       ("tile", Test_tile.suite);
       ("determinism", Test_determinism.suite);
+      ("scale", Test_scale.suite);
       ("integration", Test_integration.suite);
       ("incremental", Test_incremental.suite);
       ("server", Test_server.suite);

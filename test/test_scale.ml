@@ -1,0 +1,136 @@
+(* Scale-sweep regression: benchgen-scaled contest cases through the full
+   legalizer under every solver variant.  TDFLOW_SOLVER (and the runtime
+   override) selects Mcmf's engine only — the legalizer's flow passes
+   never consult Mcmf, and the ECO precheck reads only the (unique) max
+   flow value — so placements must stay legal and byte-identical across
+   ssp/radix/blocking.  The radix search frontier, which genuinely may
+   reorder near-tied expansions, is checked for legality and run-to-run
+   determinism instead.
+
+   ISSUE/ROADMAP name "iccad2022/case1", but that suite's catalog starts
+   at case2 (lib/benchgen/spec.ml); its smallest case stands in.
+
+   The sweep is runtime-bounded so tier-1 stays fast: the whole matrix
+   must finish inside a generous wall-clock cap (it takes ~2 s on the
+   reference container). *)
+
+module Spec = Tdf_benchgen.Spec
+module Gen = Tdf_benchgen.Gen
+module Flow3d = Tdf_legalizer.Flow3d
+module Config = Tdf_legalizer.Config
+module Legality = Tdf_metrics.Legality
+module Delta = Tdf_io.Delta
+module Eco = Tdf_incremental.Eco
+module Mcmf = Tdf_flow.Mcmf
+
+let cases = [ (Spec.Iccad2022, "case2"); (Spec.Iccad2023, "case2") ]
+let scales = [ 0.1; 0.25 ]
+let wall_cap_s = 300.
+
+let with_variant v f =
+  let saved = Mcmf.default_variant () in
+  Mcmf.set_default_variant v;
+  Fun.protect ~finally:(fun () -> Mcmf.set_default_variant saved) f
+
+let check_legal what design placement =
+  let rep = Legality.check design placement in
+  if rep.Legality.n_violations <> 0 then
+    Alcotest.failf "%s: %d violations: %s" what rep.Legality.n_violations
+      (String.concat "; " rep.Legality.messages)
+
+let legalize_text ?cfg what design =
+  let r = Flow3d.legalize ?cfg design in
+  check_legal what design r.Flow3d.placement;
+  Tdf_io.Text.placement_to_string design r.Flow3d.placement
+
+let test_scale_sweep_cross_variant () =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (suite, case) ->
+      List.iter
+        (fun scale ->
+          let what =
+            Printf.sprintf "%s/%s @ %.2f" (Spec.suite_slug suite) case scale
+          in
+          let design = Gen.generate ~scale (Spec.find suite case) in
+          let reference =
+            with_variant Mcmf.Ssp (fun () -> legalize_text what design)
+          in
+          List.iter
+            (fun v ->
+              let got =
+                with_variant v (fun () -> legalize_text what design)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s: %s matches ssp" what (Mcmf.variant_name v))
+                reference got)
+            [ Mcmf.Radix; Mcmf.Blocking ])
+        scales)
+    cases;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "scale sweep under %.0f s (took %.1f s)" wall_cap_s dt)
+    true (dt < wall_cap_s)
+
+(* ECO is the one legalization path that does run Mcmf (the feasibility
+   precheck); a delta applied under each variant must still produce
+   byte-identical placements. *)
+let test_eco_cross_variant () =
+  let design =
+    Gen.generate ~scale:0.1 (Spec.find Spec.Iccad2023 "case2")
+  in
+  let base = Flow3d.legalize design in
+  check_legal "eco base" design base.Flow3d.placement;
+  let prev = base.Flow3d.placement in
+  let delta =
+    [
+      Delta.Remove { cell = 7 };
+      Delta.Add { name = "eco_a"; x = 30; y = 20; die = 0; widths = [| 4; 4 |] };
+      Delta.Add { name = "eco_b"; x = 44; y = 12; die = 1; widths = [| 6; 6 |] };
+    ]
+  in
+  let run_once v =
+    with_variant v (fun () ->
+        match Eco.run design prev delta with
+        | Error e -> Alcotest.fail (Eco.error_to_string e)
+        | Ok r ->
+          check_legal
+            ("eco " ^ Mcmf.variant_name v)
+            r.Eco.design r.Eco.placement;
+          Tdf_io.Text.placement_to_string r.Eco.design r.Eco.placement)
+  in
+  let reference = run_once Mcmf.Ssp in
+  List.iter
+    (fun v ->
+      Alcotest.(check string)
+        ("eco placement matches ssp under " ^ Mcmf.variant_name v)
+        reference (run_once v))
+    [ Mcmf.Radix; Mcmf.Blocking ]
+
+(* The radix frontier reorders near-tied frontier pops, so it is not
+   byte-compared against the binary frontier — but it must stay legal,
+   deterministic across repeated runs, and tiled-equals-untiled under
+   itself. *)
+let test_radix_frontier_legal_deterministic () =
+  let cfg = { Config.default with Config.frontier = Config.Radix } in
+  let design = Gen.generate ~scale:0.1 (Spec.find Spec.Iccad2023 "case2") in
+  let a = legalize_text ~cfg "radix frontier run 1" design in
+  let b = legalize_text ~cfg "radix frontier run 2" design in
+  Alcotest.(check string) "radix frontier deterministic" a b;
+  match Flow3d.run_tiled ~cfg ~tiles:4 design with
+  | Error e -> Alcotest.fail (Flow3d.error_to_string e)
+  | Ok r ->
+    check_legal "radix frontier tiled" design r.Flow3d.placement;
+    Alcotest.(check string)
+      "radix frontier: tiled matches untiled" a
+      (Tdf_io.Text.placement_to_string design r.Flow3d.placement)
+
+let suite =
+  [
+    Alcotest.test_case "scale sweep: placements byte-identical across variants"
+      `Quick test_scale_sweep_cross_variant;
+    Alcotest.test_case "eco: placements byte-identical across variants" `Quick
+      test_eco_cross_variant;
+    Alcotest.test_case "radix frontier: legal + deterministic + tiled" `Quick
+      test_radix_frontier_legal_deterministic;
+  ]

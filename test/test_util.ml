@@ -244,6 +244,122 @@ let prop_heap_int_model =
               end))
         ops)
 
+module Heap_radix = Tdf_util.Heap_radix
+
+(* The radix heap against the same sorted-multiset model, plus its monotone
+   contract: once a minimum was extracted, a smaller {!Heap_radix.add} must
+   raise (loud invariant), {!Heap_radix.add_clamped} must lift the key to
+   the floor and report it, and pops never go below the floor.  The op
+   stream reuses {!heap_op_arb}, so out-of-order pushes (keys in [-50, 50]
+   against a rising floor), duplicate priorities and decrease-key-by-
+   reinsertion interleavings all occur and shrink with TDFLOW_PROP_SEED
+   replay like every Props test. *)
+let prop_heap_radix_model =
+  Props.test "radix heap matches model + monotone contract" ~count:300
+    (Props.list ~max_len:60 heap_op_arb)
+    (fun ops ->
+      let h = Heap_radix.create () in
+      let model = ref [] in
+      let floor = ref min_int in
+      let remove_one k v =
+        let removed = ref false in
+        model :=
+          List.filter
+            (fun e ->
+              if (not !removed) && e = (k, v) then begin
+                removed := true;
+                false
+              end
+              else true)
+            !model;
+        !removed
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Add (k, v) when k < !floor ->
+            let raised =
+              match Heap_radix.add h ~key:k v with
+              | () -> false
+              | exception Invalid_argument _ -> true
+            in
+            let clamped = Heap_radix.add_clamped h ~key:k v in
+            model := (!floor, v) :: !model;
+            raised && clamped && Heap_radix.length h = List.length !model
+          | Add (k, v) ->
+            Heap_radix.add h ~key:k v;
+            model := (k, v) :: !model;
+            Heap_radix.length h = List.length !model
+          | Clear ->
+            Heap_radix.clear h;
+            model := [];
+            floor := min_int;
+            Heap_radix.is_empty h && Heap_radix.last_extracted h = min_int
+          | Pop -> (
+            match (Heap_radix.pop h, !model) with
+            | None, [] -> true
+            | None, _ :: _ | Some _, [] -> false
+            | Some (k, v), m ->
+              let kmin =
+                List.fold_left (fun acc (k', _) -> min acc k') max_int m
+              in
+              if k <> kmin || k < !floor then false
+              else begin
+                floor := k;
+                remove_one k v && Heap_radix.last_extracted h = k
+              end))
+        ops)
+
+let test_heap_radix_monotone_violation () =
+  let h = Heap_radix.create () in
+  Heap_radix.add h ~key:5 50;
+  Heap_radix.add h ~key:3 30;
+  Alcotest.(check (pair int int))
+    "min first" (3, 30)
+    (Option.get (Heap_radix.pop h));
+  (* floor is now 3: going below must raise, clamping must lift to 3 *)
+  Alcotest.check_raises "below-floor add raises"
+    (Invalid_argument
+       "Heap_radix.add: monotone violation (key below extracted min)")
+    (fun () -> Heap_radix.add h ~key:2 20);
+  Alcotest.(check bool) "clamp reported" true (Heap_radix.add_clamped h ~key:2 20);
+  Alcotest.(check bool)
+    "legal add_clamped does not clamp" false
+    (Heap_radix.add_clamped h ~key:7 70);
+  Alcotest.(check (pair int int))
+    "clamped entry popped at floor" (3, 20)
+    (Option.get (Heap_radix.pop h));
+  Alcotest.(check (pair int int))
+    "then original entry" (5, 50)
+    (Option.get (Heap_radix.pop h));
+  Alcotest.(check (pair int int))
+    "then late entry" (7, 70)
+    (Option.get (Heap_radix.pop h));
+  Alcotest.(check bool) "drained" true (Heap_radix.is_empty h);
+  Heap_radix.clear h;
+  (* clear resets the floor: small keys are legal again *)
+  Heap_radix.add h ~key:(-41) 1;
+  Alcotest.(check int) "negative key after clear" (-41) (Heap_radix.top_key h)
+
+(* Sorted drain across a wide signed range: the bucket-by-highest-
+   differing-bit layout must order two's-complement keys exactly like
+   signed comparison (the XOR bias argument in heap_radix.ml). *)
+let prop_heap_radix_sorts =
+  QCheck.Test.make ~name:"radix heap drains sorted (signed keys)" ~count:200
+    QCheck.(list (int_range (-1_000_000_000) 1_000_000_000))
+    (fun keys ->
+      let h = Heap_radix.create () in
+      List.iteri (fun i k -> Heap_radix.add h ~key:k i) keys;
+      let rec drain acc =
+        if Heap_radix.is_empty h then List.rev acc
+        else begin
+          let k = Heap_radix.top_key h in
+          Heap_radix.remove_top h;
+          drain (k :: acc)
+        end
+      in
+      drain [] = List.sort compare keys)
+
 let prop_heap_int_matches_float_heap_tie_order =
   (* Migrating a caller from float keys to exact int keys must not perturb
      its traversal: on duplicate keys both heaps pop values in the same
@@ -338,6 +454,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_heap_int_sorts;
     prop_heap_int_model;
     QCheck_alcotest.to_alcotest prop_heap_int_matches_float_heap_tie_order;
+    prop_heap_radix_model;
+    Alcotest.test_case "radix heap monotone contract" `Quick
+      test_heap_radix_monotone_violation;
+    QCheck_alcotest.to_alcotest prop_heap_radix_sorts;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
