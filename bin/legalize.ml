@@ -1074,10 +1074,155 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Replay a recorded request trace against a running $(b,serve) \
-          daemon and summarize the latency distribution.")
+          daemon and summarize the latency distribution; \
+          $(b,--dump-placements) concatenates every placement carried by \
+          the replies into one byte-comparable file for determinism \
+          checks.")
     Term.(
       const run $ socket_arg $ trace $ out_json $ require_legal $ verbose
       $ retries $ backoff_ms $ dump_placements)
+
+(* ---- import / export ----------------------------------------------- *)
+
+let import_cmd =
+  let lef =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "lef" ] ~docv:"FILE"
+          ~doc:"LEF-lite library giving the placement site(s) and macro \
+                footprints (lib/io/def_lef/lef.mli grammar).")
+  in
+  let defs =
+    Arg.(
+      non_empty & opt_all file []
+      & info [ "def" ] ~docv:"FILE"
+          ~doc:"DEF file; repeat once per die.  Files pair to dies by \
+                their $(b,# tdflow.die <i> of <n>) tag when present, by \
+                argument order otherwise.")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the imported design (native text format) to $(docv).")
+  in
+  let place_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "place-out" ] ~docv:"FILE"
+          ~doc:"Also write the DEF's placed positions as a placement file \
+                (components without coordinates sit at their gp seed).")
+  in
+  let run lef_path def_paths output place_out =
+    let lef =
+      match Tdf_def_lef.Lef.load lef_path with
+      | Ok l -> l
+      | Error e ->
+        Printf.eprintf "legalize: %s\n" (parse_diagnostic lef_path e);
+        exit 2
+    in
+    let defs =
+      List.map
+        (fun p ->
+          match Tdf_def_lef.Def.load p with
+          | Ok d -> d
+          | Error e ->
+            Printf.eprintf "legalize: %s\n" (parse_diagnostic p e);
+            exit 2)
+        def_paths
+    in
+    match Tdf_def_lef.Def.to_design ~lef defs with
+    | Error e ->
+      Printf.eprintf "legalize: import: %s\n" e;
+      exit 2
+    | Ok (design, placement) ->
+      List.iter
+        (fun i ->
+          Printf.eprintf "preflight: %s\n" (Tdf_robust.Validate.issue_to_string i))
+        (Tdf_robust.Validate.design design);
+      Tdf_io.Text.save_design output design;
+      Printf.printf "imported %d dies, %d cells, %d macros, %d nets -> %s\n"
+        (Tdf_netlist.Design.n_dies design)
+        (Tdf_netlist.Design.n_cells design)
+        (Array.length design.Tdf_netlist.Design.macros)
+        (Array.length design.Tdf_netlist.Design.nets)
+        output;
+      Option.iter
+        (fun path ->
+          Tdf_io.Text.save_placement path design placement;
+          Printf.printf "wrote %s\n" path)
+        place_out
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Import an open design — one LEF-lite library plus one DEF per \
+          die — into the native text format, validated like every other \
+          reader (parse errors are typed $(b,file:line:) diagnostics, \
+          exit 2).")
+    Term.(const run $ lef $ defs $ output $ place_out)
+
+let export_cmd =
+  let placement =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "p"; "placement" ] ~docv:"FILE"
+          ~doc:"Placement to export; defaults to the design's rounded \
+                global-placement seed.")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"BASE"
+          ~doc:"Output base path: writes $(docv).lef plus one \
+                $(docv).d<i>.def per die.")
+  in
+  let run design_path placement_path output =
+    let design = load_design design_path in
+    let placement = Option.map (load_placement design) placement_path in
+    (* DEF components are name-keyed; refuse ambiguous exports instead of
+       silently conflating cells (run --repair renames duplicates). *)
+    (match
+       List.filter
+         (fun (i : Tdf_robust.Validate.issue) ->
+           i.Tdf_robust.Validate.code = "duplicate-cell-name")
+         (Tdf_robust.Validate.design design)
+     with
+    | i :: _ ->
+      Printf.eprintf "legalize: export: %s\n"
+        (Tdf_robust.Validate.issue_to_string i);
+      exit 1
+    | [] -> ());
+    let lef, defs = Tdf_def_lef.Def.of_design ?placement design in
+    let lef_path = output ^ ".lef" in
+    Tdf_def_lef.Lef.save lef_path lef;
+    let def_paths =
+      List.mapi
+        (fun i d ->
+          let p = Printf.sprintf "%s.d%d.def" output i in
+          Tdf_def_lef.Def.save p d;
+          p)
+        defs
+    in
+    Printf.printf "wrote %s (%d cells, %d macros, %d nets)\n"
+      (String.concat " " (lef_path :: def_paths))
+      (Tdf_netlist.Design.n_cells design)
+      (Array.length design.Tdf_netlist.Design.macros)
+      (Array.length design.Tdf_netlist.Design.nets)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Export a design (and optionally a placement) as canonical \
+          DEF/LEF-lite: one LEF plus one DEF per die, deterministic down \
+          to the byte — $(b,export) after a lossless $(b,import) \
+          reproduces the files exactly.")
+    Term.(const run $ design_arg $ placement $ output)
 
 (* ---- version ------------------------------------------------------- *)
 
@@ -1099,7 +1244,8 @@ let () =
       Cmd.eval ~catch:false
         (Cmd.group info
            [ gen_cmd; run_cmd; check_cmd; compare_cmd; tables_cmd; viz_cmd;
-             place_cmd; eco_cmd; serve_cmd; client_cmd; version_cmd ])
+             place_cmd; eco_cmd; import_cmd; export_cmd; serve_cmd;
+             client_cmd; version_cmd ])
     with
     | Tdf_server.Server.Recovery_error e ->
       Printf.eprintf "legalize: recovery failed: %s\n"

@@ -1,0 +1,224 @@
+(* LEF-lite reader/writer; see the grammar in lef.mli.  The reader is a
+   recursive descent over Lex's token stream: strict about the subset it
+   claims (unknown keywords are typed errors, not silent skips) but
+   tolerant of the statements real libraries carry around the footprint
+   data (PIN/OBS blocks, SYMMETRY, UNITS...), which it skips by
+   structure. *)
+
+open Lex
+
+type site = { s_name : string; s_class : string; s_w : int; s_h : int }
+
+type macro = {
+  m_name : string;
+  m_class : string;
+  m_w : int;
+  m_h : int;
+  m_widths : int array option;
+}
+
+type t = { sites : site list; macros : macro list }
+
+(* SIZE <w> BY <h> ; *)
+let parse_size cur =
+  let w = next cur "SIZE" in
+  expect cur "BY";
+  let h = next cur "SIZE" in
+  expect cur ";";
+  (int_of ~line:w.line w.word, int_of ~line:h.line h.word)
+
+(* Body shared by SITE and MACRO up to END <name>; returns (class, size).
+   [skip_blocks] enables the MACRO-only nested PIN/OBS constructs. *)
+let parse_body cur ~what ~name ~skip_blocks =
+  let cls = ref "" and size = ref None in
+  let rec loop () =
+    let t = next cur what in
+    match t.word with
+    | "END" ->
+      let e = next cur "END" in
+      if e.word <> name then
+        fail "line %d: END %s does not close %s %s" e.line e.word what name
+    | "CLASS" ->
+      let c = next cur "CLASS" in
+      expect cur ";";
+      cls := c.word;
+      loop ()
+    | "SIZE" ->
+      size := Some (parse_size cur);
+      loop ()
+    | "SYMMETRY" | "ORIGIN" | "FOREIGN" | "SITE" ->
+      skip_statement cur;
+      loop ()
+    | "PIN" when skip_blocks ->
+      (* PIN <p> ... END <p> *)
+      let p = next cur "PIN" in
+      let rec skip_pin () =
+        let t = next cur "PIN block" in
+        if t.word = "END" then begin
+          let e = next cur "END" in
+          if e.word <> p.word then skip_pin ()
+        end
+        else skip_pin ()
+      in
+      skip_pin ();
+      loop ()
+    | "OBS" when skip_blocks ->
+      let rec skip_obs () =
+        let t = next cur "OBS block" in
+        if t.word <> "END" then skip_obs ()
+      in
+      skip_obs ();
+      loop ()
+    | w -> fail "line %d: unrecognized %s statement %S" t.line what w
+  in
+  loop ();
+  match !size with
+  | Some (w, h) -> (!cls, w, h)
+  | None -> fail "%s %s: missing SIZE" what name
+
+let parse cur exts =
+  let sites = ref [] and macros = ref [] in
+  let widths_of = Hashtbl.create 8 in
+  List.iter
+    (fun (line, ws) ->
+      match ws with
+      | "tdflow.widths" :: name :: (_ :: _ as rest) ->
+        Hashtbl.replace widths_of name
+          (Array.of_list (List.map (int_of ~line) rest))
+      | "tdflow.widths" :: _ ->
+        fail "line %d: tdflow.widths needs a macro name and widths" line
+      | kw :: _ -> fail "line %d: unknown extension comment %S" line kw
+      | [] -> ())
+    exts;
+  let rec loop () =
+    let t = next cur "library" in
+    match t.word with
+    | "END" ->
+      expect cur "LIBRARY";
+      (match peek cur with
+      | Some t -> fail "line %d: trailing tokens after END LIBRARY" t.line
+      | None -> ())
+    | "VERSION" | "NAMESCASESENSITIVE" | "BUSBITCHARS" | "DIVIDERCHAR"
+    | "MANUFACTURINGGRID" ->
+      skip_statement cur;
+      loop ()
+    | "UNITS" ->
+      let rec skip () =
+        let t = next cur "UNITS block" in
+        if t.word = "END" then expect cur "UNITS" else skip ()
+      in
+      skip ();
+      loop ()
+    | "PROPERTYDEFINITIONS" ->
+      let rec skip () =
+        let t = next cur "PROPERTYDEFINITIONS block" in
+        if t.word = "END" then expect cur "PROPERTYDEFINITIONS" else skip ()
+      in
+      skip ();
+      loop ()
+    | "SITE" ->
+      let name = (next cur "SITE").word in
+      let s_class, s_w, s_h =
+        parse_body cur ~what:"SITE" ~name ~skip_blocks:false
+      in
+      if s_w <= 0 || s_h <= 0 then
+        fail "line %d: SITE %s has a non-positive SIZE" t.line name;
+      sites := { s_name = name; s_class; s_w; s_h } :: !sites;
+      loop ()
+    | "MACRO" ->
+      let name = (next cur "MACRO").word in
+      let m_class, m_w, m_h =
+        parse_body cur ~what:"MACRO" ~name ~skip_blocks:true
+      in
+      if m_w <= 0 || m_h <= 0 then
+        fail "line %d: MACRO %s has a non-positive SIZE" t.line name;
+      macros :=
+        {
+          m_name = name;
+          m_class;
+          m_w;
+          m_h;
+          m_widths = Hashtbl.find_opt widths_of name;
+        }
+        :: !macros;
+      loop ()
+    | w -> fail "line %d: unrecognized library statement %S" t.line w
+  in
+  loop ();
+  (* A widths comment naming an absent macro is a typo worth catching. *)
+  Hashtbl.iter
+    (fun name _ ->
+      if not (List.exists (fun m -> m.m_name = name) !macros) then
+        fail "tdflow.widths names unknown macro %S" name)
+    widths_of;
+  List.iter
+    (fun m ->
+      match m.m_widths with
+      | Some ws when Array.exists (fun w -> w <= 0) ws ->
+        fail "macro %s: tdflow.widths must be positive" m.m_name
+      | _ -> ())
+    !macros;
+  { sites = List.rev !sites; macros = List.rev !macros }
+
+let read text =
+  try
+    let toks, exts = lex text in
+    Ok (parse (cursor toks) exts)
+  with Parse msg -> Error msg
+
+let write fmt (t : t) =
+  Format.fprintf fmt "VERSION 5.8 ;@.";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "SITE %s@." s.s_name;
+      Format.fprintf fmt "  CLASS %s ;@." s.s_class;
+      Format.fprintf fmt "  SIZE %d BY %d ;@." s.s_w s.s_h;
+      Format.fprintf fmt "END %s@." s.s_name)
+    t.sites;
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "MACRO %s@." m.m_name;
+      Format.fprintf fmt "  CLASS %s ;@." m.m_class;
+      Format.fprintf fmt "  SIZE %d BY %d ;@." m.m_w m.m_h;
+      (match m.m_widths with
+      | Some ws ->
+        Format.fprintf fmt "  # tdflow.widths %s" m.m_name;
+        Array.iter (fun w -> Format.fprintf fmt " %d" w) ws;
+        Format.fprintf fmt "@."
+      | None -> ());
+      Format.fprintf fmt "END %s@." m.m_name)
+    t.macros;
+  Format.fprintf fmt "END LIBRARY@."
+
+let to_string t = Format.asprintf "%a" write t
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path = read (read_file path)
+
+let save path t =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  (try write fmt t
+   with e ->
+     close_out oc;
+     raise e);
+  Format.pp_print_flush fmt ();
+  close_out oc
+
+let find_site t name = List.find_opt (fun s -> s.s_name = name) t.sites
+
+let find_macro t name = List.find_opt (fun m -> m.m_name = name) t.macros
+
+let read_exn text =
+  match read text with Ok v -> v | Error msg -> failwith ("Lef.read: " ^ msg)
+
+let load_exn path =
+  match load path with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)

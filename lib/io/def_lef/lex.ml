@@ -1,0 +1,80 @@
+exception Parse of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse s)) fmt
+
+type tok = { line : int; word : string }
+
+(* Make `(`, `)` and `;` self-delimiting so `(24 32)` lexes like
+   `( 24 32 )`; fold tabs and carriage returns into plain spaces. *)
+let expand line =
+  let b = Buffer.create (String.length line + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | ')' | ';' ->
+        Buffer.add_char b ' ';
+        Buffer.add_char b c;
+        Buffer.add_char b ' '
+      | '\t' | '\r' -> Buffer.add_char b ' '
+      | c -> Buffer.add_char b c)
+    line;
+  Buffer.contents b
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let is_ext w =
+  String.length w >= 7 && String.sub w 0 7 = "tdflow."
+
+let lex text =
+  let toks = ref [] and exts = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let code, comment =
+        match String.index_opt line '#' with
+        | Some j ->
+          ( String.sub line 0 j,
+            String.sub line (j + 1) (String.length line - j - 1) )
+        | None -> (line, "")
+      in
+      (match words (expand comment) with
+      | kw :: _ as ws when is_ext kw -> exts := (lineno, ws) :: !exts
+      | _ -> ());
+      List.iter
+        (fun w -> toks := { line = lineno; word = w } :: !toks)
+        (words (expand code)))
+    (String.split_on_char '\n' text);
+  (List.rev !toks, List.rev !exts)
+
+type cursor = { toks : tok array; mutable pos : int }
+
+let cursor toks = { toks = Array.of_list toks; pos = 0 }
+
+let peek cur =
+  if cur.pos < Array.length cur.toks then Some cur.toks.(cur.pos) else None
+
+let next cur what =
+  match peek cur with
+  | Some t ->
+    cur.pos <- cur.pos + 1;
+    t
+  | None -> fail "unexpected end of file (in %s)" what
+
+let expect cur w =
+  let t = next cur (Printf.sprintf "%S" w) in
+  if t.word <> w then fail "line %d: expected %S, got %S" t.line w t.word
+
+let rec skip_statement cur =
+  let t = next cur "statement" in
+  if t.word <> ";" then skip_statement cur
+
+let int_of ~line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "line %d: expected integer, got %S" line s
+
+let float_of ~line s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail "line %d: expected number, got %S" line s

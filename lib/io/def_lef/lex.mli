@@ -1,0 +1,48 @@
+(** Shared tokenizer and parse-cursor for the DEF/LEF-lite readers.
+
+    DEF and LEF are token-oriented, not line-oriented: statements end at
+    [;], coordinates are wrapped in [( ... )], and both may spill across
+    lines.  This lexer splits the input into whitespace-separated words
+    (treating [(], [)] and [;] as self-delimiting tokens even when glued
+    to a neighbor), tags every token with its 1-based source line for the
+    ["line %d: ..."] diagnostics the rest of [lib/io] uses, and separates
+    out the [# tdflow.*] extension comments that carry the data plain
+    DEF/LEF cannot express (per-die widths, global-placement seeds, die
+    pairing).  Ordinary [#] comments are dropped, so a real tool's DEF
+    passes through untouched. *)
+
+exception Parse of string
+(** Internal to {!Lef.read} / {!Def.read}; both catch it and return
+    [Error] with the carried diagnostic. *)
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Parse} with a formatted diagnostic. *)
+
+type tok = { line : int; word : string }
+
+val lex : string -> tok list * (int * string list) list
+(** [lex text] is [(tokens, extensions)]: the token stream, plus one
+    [(line, words)] entry per comment whose first word starts with
+    ["tdflow."] (the ["#"] itself stripped, words split like tokens). *)
+
+(** A mutable read position over the token stream. *)
+type cursor
+
+val cursor : tok list -> cursor
+
+val peek : cursor -> tok option
+(** [None] at end of input. *)
+
+val next : cursor -> string -> tok
+(** Consume one token; fails with ["unexpected end of file (in <what>)"]
+    when exhausted. *)
+
+val expect : cursor -> string -> unit
+(** Consume one token and require it to equal the given word. *)
+
+val skip_statement : cursor -> unit
+(** Consume tokens up to and including the next [;] (for statements the
+    subset recognizes but does not interpret). *)
+
+val int_of : line:int -> string -> int
+val float_of : line:int -> string -> float

@@ -153,6 +153,19 @@ let design (d : Design.t) =
             c.Cell.gp_y
       | None -> ()))
     d.Design.cells;
+  (* Duplicate cell names: harmless internally (ids key everything) but
+     the name-keyed DEF interchange cannot round-trip them. *)
+  let names = Hashtbl.create (max 16 (Design.n_cells d)) in
+  Array.iter
+    (fun (c : Cell.t) ->
+      match Hashtbl.find_opt names c.Cell.name with
+      | Some first ->
+        add Warning "duplicate-cell-name"
+          (Printf.sprintf "cell %d" c.Cell.id)
+          "name %S is already used by cell %d; DEF export would conflate them"
+          c.Cell.name first
+      | None -> Hashtbl.replace names c.Cell.name c.Cell.id)
+    d.Design.cells;
   (* Nets. *)
   Array.iter
     (fun (n : Net.t) ->
@@ -276,6 +289,32 @@ let repair (d : Design.t) =
           Cell.make ~id:c.Cell.id ~name:c.Cell.name ~weight:c.Cell.weight
             ~widths ~gp_x ~gp_y ~gp_z ())
       d.Design.cells
+  in
+  (* Rename duplicate cell names: the DEF interchange keys components by
+     name, so later holders get a fresh "<name>_dup<id>" while the first
+     keeps the original. *)
+  let names = Hashtbl.create (max 16 (Array.length cells)) in
+  let cells =
+    Array.map
+      (fun (c : Cell.t) ->
+        if Hashtbl.mem names c.Cell.name then begin
+          let rec pick k =
+            let cand = Printf.sprintf "%s_dup%d" c.Cell.name k in
+            if Hashtbl.mem names cand then pick (k + 1) else cand
+          in
+          let fresh = pick c.Cell.id in
+          note "cell %d: renamed duplicate name %S to %S" c.Cell.id
+            c.Cell.name fresh;
+          Hashtbl.replace names fresh c.Cell.id;
+          Cell.make ~id:c.Cell.id ~name:fresh ~weight:c.Cell.weight
+            ~widths:c.Cell.widths ~gp_x:c.Cell.gp_x ~gp_y:c.Cell.gp_y
+            ~gp_z:c.Cell.gp_z ()
+        end
+        else begin
+          Hashtbl.replace names c.Cell.name c.Cell.id;
+          c
+        end)
+      cells
   in
   (* Nets: drop degenerate and dangling ones, renumbering densely (net ids
      index the nets array throughout the repo). *)

@@ -13,11 +13,15 @@
       out-of-range cells;
     - non-finite or out-of-window global-placement coordinates (NaN
       [gp_z], [gp_z] outside [0, n_dies - 1], [gp_x]/[gp_y] outside the
-      die window).
+      die window);
+    - duplicate cell names ([duplicate-cell-name], Warning): legal
+      internally (ids key everything) but the name-keyed DEF interchange
+      ([Tdf_def_lef]) cannot round-trip them.
 
     [repair] applies the conservative fix for every recoverable issue —
-    clamp (positions, z, oversized widths), or drop (degenerate nets,
-    escaping macros) — and reports what it did.  Unrecoverable issues
+    clamp (positions, z, oversized widths), rename (duplicate cell
+    names), or drop (degenerate nets, escaping macros) — and reports
+    what it did.  Unrecoverable issues
     (e.g. every die has zero capacity) remain fatal after repair. *)
 
 type severity = Warning | Fatal

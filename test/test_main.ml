@@ -14,6 +14,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("benchgen", Test_benchgen.suite);
       ("io", Test_io.suite);
+      ("def_lef", Test_def_lef.suite);
       ("bonding", Test_bonding.suite);
       ("contest", Test_contest.suite);
       ("refine", Test_refine.suite);
